@@ -1,0 +1,80 @@
+//! E-W1: wall-clock Criterion benchmarks of the sequential kernels —
+//! the real compute performance underneath the simulated machine.
+
+use ca_dla::bulge::reduce_band;
+use ca_dla::gemm::{matmul, Trans};
+use ca_dla::qr::qr_factor;
+use ca_dla::tridiag::tridiag_eigenvalues;
+use ca_dla::{gen, BandedSym};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    for n in [64usize, 128, 256] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = gen::random_matrix(&mut rng, n, n);
+        let b = gen::random_matrix(&mut rng, n, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(matmul(&a, Trans::N, &b, Trans::N)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_qr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qr_panel");
+    for (m, n) in [(256usize, 32usize), (512, 32), (512, 64)] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = gen::random_matrix(&mut rng, m, n);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{n}")),
+            &(m, n),
+            |bench, _| {
+                bench.iter(|| black_box(qr_factor(&a, 32)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_band_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("band_halving");
+    for (n, b) in [(256usize, 16usize), (512, 16)] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dense = gen::random_banded(&mut rng, n, b);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_b{b}")),
+            &(n, b),
+            |bench, _| {
+                bench.iter(|| {
+                    let mut bm = BandedSym::from_dense(&dense, b, (2 * b).min(n - 1));
+                    reduce_band(&mut bm, 2);
+                    black_box(bm)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_tridiag_eigen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tridiag_ql");
+    for n in [256usize, 1024] {
+        let d = vec![2.0; n];
+        let e = vec![-1.0; n - 1];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(tridiag_eigenvalues(&d, &e)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(10);
+    targets = bench_gemm, bench_qr, bench_band_reduction, bench_tridiag_eigen
+}
+criterion_main!(kernels);

@@ -1,0 +1,36 @@
+//! Criterion wall-clock of the Table-I eigensolver simulations (the cost
+//! *numbers* for the table come from `--bin table1`; this bench tracks
+//! how long each simulated algorithm takes to execute end to end, which
+//! is dominated by the real floating-point reduction work).
+
+use ca_bench::{run_eigensolver, Algorithm};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_simulation");
+    let n = 128;
+    let p = 16;
+    for alg in [
+        Algorithm::ScaLapack,
+        Algorithm::Elpa,
+        Algorithm::CaSbr,
+        Algorithm::TwoPointFiveD { c: 1 },
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(alg.name()),
+            &alg,
+            |bench, alg| {
+                bench.iter(|| black_box(run_eigensolver(*alg, n, p, 42)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = table1;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1
+}
+criterion_main!(table1);

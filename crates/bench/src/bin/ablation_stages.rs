@@ -1,0 +1,92 @@
+#![allow(clippy::needless_range_loop)]
+//! **E-A2 — ablation: multi-stage vs single-stage band reduction**
+//! (§V: "To reduce the number of band-reduction stages when δ < 2/3,
+//! one can use k = p^{2−3δ} with each invocation of 2.5D-Band-to-Band,
+//! but this results in a greater synchronization cost.").
+//!
+//! Reduces the same banded matrix from `b` to `h_target` either by
+//! successive `k = 2` halvings (Algorithm IV.3's default) or by one
+//! invocation with `k = b/h_target`, and compares `W`, `S` and `F`.
+//!
+//! Usage: `cargo run --release -p ca-bench --bin ablation_stages [--n N]`
+
+use ca_bench::{emit_json, flag_value, print_table};
+use ca_bsp::{Machine, MachineParams};
+use ca_dla::{gen, BandedSym};
+use ca_eigen::band_to_band;
+use ca_pla::grid::Grid;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct StageRecord {
+    strategy: String,
+    n: usize,
+    b: usize,
+    h: usize,
+    p: usize,
+    flops: u64,
+    w: u64,
+    s: u64,
+}
+
+fn main() {
+    let n: usize = flag_value("--n").map(|v| v.parse().unwrap()).unwrap_or(256);
+    let p = 16;
+    let b = 32;
+    let h = 4;
+
+    println!("E-A2: k = 2 multi-stage vs single k = {} reduction, n = {n}, b = {b} → {h}, p = {p}", b / h);
+    println!();
+
+    let mut rng = StdRng::seed_from_u64(88);
+    let dense = gen::random_banded(&mut rng, n, b);
+    let bm = BandedSym::from_dense(&dense, b, b);
+    let reference = ca_dla::tridiag::banded_eigenvalues(&bm);
+
+    let mut rows = Vec::new();
+    for multi in [true, false] {
+        let machine = Machine::new(MachineParams::new(p));
+        let grid = Grid::all(p);
+        let mut band = BandedSym::from_dense(&dense, b, b);
+        if multi {
+            while band.bandwidth() > h {
+                let (next, _) = band_to_band(&machine, &grid, &band, 2, 1);
+                band = next;
+            }
+        } else {
+            let (next, _) = band_to_band(&machine, &grid, &band, b / h, 1);
+            band = next;
+        }
+        assert!(band.measured_bandwidth(1e-9) <= h);
+        let ev = ca_dla::tridiag::banded_eigenvalues(&band);
+        assert!(ca_dla::tridiag::spectrum_distance(&ev, &reference) < 1e-7 * n as f64);
+
+        let c = machine.report();
+        let rec = StageRecord {
+            strategy: if multi { "k=2 stages" } else { "single k" }.into(),
+            n,
+            b,
+            h,
+            p,
+            flops: c.flops,
+            w: c.horizontal_words,
+            s: c.supersteps,
+        };
+        emit_json("ablation_stages", &rec);
+        rows.push(vec![
+            rec.strategy.clone(),
+            rec.flops.to_string(),
+            rec.w.to_string(),
+            rec.s.to_string(),
+        ]);
+    }
+    print_table(&["strategy", "F", "W", "S"], &rows);
+    println!();
+    println!("§V notes single-k trades stage count against synchronization (S per");
+    println!("invocation grows ∝ kᵟ while k = 2 staging pays a log₂k stage factor).");
+    println!("At these sizes the measured tradeoff favours single-k: kᵟ < 2ᵟ·log₂k for");
+    println!("moderate k — the multi-stage default instead buys the solver its");
+    println!("processor-shrinking schedule (ζ = (1−δ)/δ) and bounded memory.");
+}

@@ -1,0 +1,121 @@
+#![allow(clippy::needless_range_loop)]
+//! **E-T1 — regenerate Table I** of the paper: measured communication
+//! and synchronization costs of four symmetric eigensolvers on the
+//! virtual BSP machine, swept over processor counts.
+//!
+//! Paper (asymptotic, all with F = O(n³/p)):
+//!
+//! | Algorithm      | W          | Q              | S                  |
+//! |----------------|------------|----------------|--------------------|
+//! | ScaLAPACK \[15\] | n²/√p      | n³/p           | n·log p            |
+//! | ELPA \[37\]      | n²/√p      | —              | n·log p            |
+//! | CA-SBR \[12\]    | n²/√p      | n²·log n/√p    | √p(log²p + log n)  |
+//! | Theorem IV.4   | n²/pᵟ      | n²·log p/pᵟ    | pᵟ·log² p          |
+//!
+//! We report the measured `F/W/Q/S` per algorithm and per `p`, the
+//! fitted exponent of each quantity against `p`, and the ratios that
+//! should hold by the table (e.g. `W_scalapack / W_2.5d ≈ p^{δ−1/2}`).
+//!
+//! Usage: `cargo run --release -p ca-bench --bin table1 [--quick] [--n N]`
+
+use ca_bench::{emit_json, fit_exponent, flag_present, flag_value, print_table, run_eigensolver, Algorithm};
+
+fn main() {
+    let quick = flag_present("--quick");
+    let n: usize = flag_value("--n")
+        .map(|v| v.parse().expect("--n must be an integer"))
+        .unwrap_or(if quick { 128 } else { 512 });
+    let ps: Vec<usize> = if quick { vec![16, 64] } else { vec![16, 64, 256] };
+
+    println!("E-T1 / Table I: measured costs, n = {n}, p ∈ {ps:?}");
+    println!();
+
+    let algs = |p: usize| {
+        let mut v = vec![Algorithm::ScaLapack, Algorithm::Elpa, Algorithm::CaSbr, Algorithm::TwoPointFiveD { c: 1 }];
+        // c = 4 is within the paper's c ≤ p^{1/3} regime for p ≥ 64.
+        if p >= 64 && (p / 4) > 0 && is_square(p / 4) {
+            v.push(Algorithm::TwoPointFiveD { c: 4 });
+        }
+        v
+    };
+
+    let mut rows = Vec::new();
+    let mut per_alg: std::collections::BTreeMap<String, Vec<(f64, f64, f64, f64)>> =
+        std::collections::BTreeMap::new();
+    for &p in &ps {
+        for alg in algs(p) {
+            let r = run_eigensolver(alg, n, p, 42);
+            emit_json("table1", &r);
+            rows.push(vec![
+                r.algorithm.clone(),
+                p.to_string(),
+                r.flops.to_string(),
+                r.horizontal_words.to_string(),
+                r.vertical_words.to_string(),
+                r.supersteps.to_string(),
+                format!("{:.1e}", r.spectrum_error),
+            ]);
+            per_alg.entry(r.algorithm.clone()).or_default().push((
+                p as f64,
+                r.horizontal_words as f64,
+                r.vertical_words as f64,
+                r.supersteps as f64,
+            ));
+        }
+    }
+    print_table(
+        &["algorithm", "p", "F (max/proc)", "W", "Q", "S", "λ err"],
+        &rows,
+    );
+
+    println!();
+    println!("Fitted exponents of W, Q against p (paper predicts W ∝ p^(−1/2) for the");
+    println!("baselines, p^(−δ) with δ ∈ [1/2, 2/3] for Theorem IV.4; S grows for the");
+    println!("direct method and shrinks relative to it for banded methods):");
+    println!();
+    let mut fit_rows = Vec::new();
+    for (alg, pts) in &per_alg {
+        if pts.len() < 2 {
+            continue;
+        }
+        let px: Vec<f64> = pts.iter().map(|t| t.0).collect();
+        let w: Vec<f64> = pts.iter().map(|t| t.1).collect();
+        let q: Vec<f64> = pts.iter().map(|t| t.2).collect();
+        let s: Vec<f64> = pts.iter().map(|t| t.3).collect();
+        fit_rows.push(vec![
+            alg.clone(),
+            format!("{:+.2}", fit_exponent(&px, &w)),
+            format!("{:+.2}", fit_exponent(&px, &q)),
+            format!("{:+.2}", fit_exponent(&px, &s)),
+        ]);
+    }
+    print_table(&["algorithm", "W ∝ p^", "Q ∝ p^", "S ∝ p^"], &fit_rows);
+
+    // Headline comparisons at the largest p.
+    let p_max = *ps.last().unwrap();
+    println!();
+    println!("Headline checks at p = {p_max} (who wins, by what factor):");
+    let get = |name: &str| {
+        per_alg
+            .get(name)
+            .and_then(|v| v.last())
+            .map(|t| (t.1, t.2, t.3))
+    };
+    if let (Some((w_sca, q_sca, s_sca)), Some((w_25, _, _))) =
+        (get("scalapack-style"), get("2.5d (c=1)"))
+    {
+        println!("  W scalapack / W 2.5d(c=1)   = {:.2}", w_sca / w_25);
+        if let Some((w_25c4, _, _)) = get("2.5d (c=4)") {
+            println!("  W 2.5d(c=1) / W 2.5d(c=4)   = {:.2}  (paper: ≈√c = 2)", w_25 / w_25c4);
+        }
+        if let Some((_w_elpa, q_elpa, s_elpa)) = get("elpa-style") {
+            println!("  Q scalapack / Q elpa-style  = {:.2}  (direct pays n³/p)", q_sca / q_elpa);
+            println!("  S scalapack / S elpa-style  = {:.2}", s_sca / s_elpa);
+        }
+    }
+}
+
+fn is_square(x: usize) -> bool {
+    let r = (x as f64).sqrt().round() as usize;
+    r * r == x
+}

@@ -1,0 +1,288 @@
+//! The virtual BSP machine: per-processor cost ledger and superstep logic.
+
+use crate::costs::{CostSnapshot, Costs};
+use crate::MachineParams;
+use std::cell::{Cell, RefCell};
+
+/// One fenced phase's folded maxima — the per-phase profile behind the
+/// paper's `Σᵢ maxⱼ` sums, recordable for diagnostics (see
+/// [`Machine::enable_phase_trace`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseRecord {
+    /// Max flops by any processor during the phase.
+    pub flops: u64,
+    /// Max horizontal words by any processor during the phase.
+    pub horizontal_words: u64,
+    /// Max vertical words by any processor during the phase.
+    pub vertical_words: u64,
+    /// Processors that did any work or communication in the phase.
+    pub active_procs: usize,
+}
+
+/// Identifier of a virtual processor, in `0..p`.
+pub type ProcId = usize;
+
+/// A virtual BSP machine of `p` processors with a metered cost ledger.
+///
+/// The machine does not store application data itself — distributed
+/// containers (see `ca-pla`) own per-processor buffers and report every
+/// word they move and every flop they execute through the `charge_*`
+/// methods. The machine is deliberately single-threaded (`Cell`-based
+/// interior mutability) so simulations are deterministic; heavy *local*
+/// kernels may still use real shared-memory parallelism internally since
+/// they do not touch the ledger concurrently.
+///
+/// ```
+/// use ca_bsp::{Machine, MachineParams};
+///
+/// let m = Machine::new(MachineParams::new(4));
+/// m.charge_flops(0, 100);          // processor 0 computes
+/// m.charge_transfer(0, 1, 8);      // 8 words move 0 → 1
+/// m.fence();                       // end of the superstep
+/// let costs = m.report();
+/// assert_eq!(costs.flops, 100);    // per-superstep max, summed
+/// assert_eq!(costs.horizontal_words, 8);
+/// assert_eq!(costs.supersteps, 1);
+/// ```
+///
+/// ## Supersteps and fences
+///
+/// * [`Machine::step`] advances the private superstep counter of a
+///   *subgroup* of processors — used when disjoint groups communicate
+///   concurrently (BSP permits independent subgroup exchanges to share
+///   global supersteps, so each group's count advances independently).
+/// * [`Machine::fence`] is a global barrier: it (1) folds the paper's
+///   per-superstep maxima for `F`/`W`/`Q` over the phase that just ended,
+///   and (2) aligns every processor's superstep counter to the global
+///   maximum plus one.
+pub struct Machine {
+    params: MachineParams,
+    /// Cumulative flops per processor.
+    flops: Vec<Cell<u64>>,
+    /// Cumulative words sent+received per processor.
+    comm: Vec<Cell<u64>>,
+    /// Cumulative vertical (memory<->cache) words per processor.
+    vert: Vec<Cell<u64>>,
+    /// Private superstep counter per processor.
+    steps: Vec<Cell<u64>>,
+    /// Current allocated words per processor.
+    mem: Vec<Cell<u64>>,
+    /// Peak allocated words per processor.
+    peak_mem: Vec<Cell<u64>>,
+    /// Per-processor counter values at the last fence (for phase maxima).
+    fence_flops: Vec<Cell<u64>>,
+    fence_comm: Vec<Cell<u64>>,
+    fence_vert: Vec<Cell<u64>>,
+    /// Folded sums of per-phase maxima (the paper's Σᵢ maxⱼ).
+    folded_flops: Cell<u64>,
+    folded_comm: Cell<u64>,
+    folded_vert: Cell<u64>,
+    /// Optional per-phase trace (None until enabled).
+    trace: RefCell<Option<Vec<PhaseRecord>>>,
+}
+
+impl Machine {
+    /// Create a machine with the given parameters; all counters zero.
+    pub fn new(params: MachineParams) -> Self {
+        let p = params.p;
+        assert!(p > 0, "machine must have at least one processor");
+        let zeros = || (0..p).map(|_| Cell::new(0u64)).collect::<Vec<_>>();
+        Self {
+            params,
+            flops: zeros(),
+            comm: zeros(),
+            vert: zeros(),
+            steps: zeros(),
+            mem: zeros(),
+            peak_mem: zeros(),
+            fence_flops: zeros(),
+            fence_comm: zeros(),
+            fence_vert: zeros(),
+            folded_flops: Cell::new(0),
+            folded_comm: Cell::new(0),
+            folded_vert: Cell::new(0),
+            trace: RefCell::new(None),
+        }
+    }
+
+    /// Start recording a [`PhaseRecord`] at every fold (fence/report).
+    /// Used by the timeline diagnostics; has no effect on the costs.
+    pub fn enable_phase_trace(&self) {
+        let mut t = self.trace.borrow_mut();
+        if t.is_none() {
+            *t = Some(Vec::new());
+        }
+    }
+
+    /// The recorded phase trace so far (empty if tracing is off).
+    pub fn phase_trace(&self) -> Vec<PhaseRecord> {
+        self.trace.borrow().clone().unwrap_or_default()
+    }
+
+    /// Number of processors `p`.
+    pub fn p(&self) -> usize {
+        self.params.p
+    }
+
+    /// Cache size `H` in words.
+    pub fn cache_words(&self) -> u64 {
+        self.params.cache_words
+    }
+
+    /// The architectural parameters this machine was built with.
+    pub fn params(&self) -> &MachineParams {
+        &self.params
+    }
+
+    /// Charge `f` floating point operations to processor `j`.
+    #[inline]
+    pub fn charge_flops(&self, j: ProcId, f: u64) {
+        let c = &self.flops[j];
+        c.set(c.get() + f);
+    }
+
+    /// Charge `w` words of horizontal traffic (sent or received) to
+    /// processor `j`.
+    #[inline]
+    pub fn charge_comm(&self, j: ProcId, w: u64) {
+        let c = &self.comm[j];
+        c.set(c.get() + w);
+    }
+
+    /// Charge a point-to-point transfer of `w` words: `w` is charged to
+    /// both endpoints (each processor's `Wⱼ` counts words sent *and*
+    /// received, per §II). A self-transfer charges nothing.
+    #[inline]
+    pub fn charge_transfer(&self, from: ProcId, to: ProcId, w: u64) {
+        if from != to {
+            self.charge_comm(from, w);
+            self.charge_comm(to, w);
+        }
+    }
+
+    /// Charge `q` words of vertical (memory↔cache) traffic to processor `j`.
+    #[inline]
+    pub fn charge_vert(&self, j: ProcId, q: u64) {
+        let c = &self.vert[j];
+        c.set(c.get() + q);
+    }
+
+    /// Record an allocation of `words` on processor `j` (memory tracking).
+    pub fn alloc(&self, j: ProcId, words: u64) {
+        let m = &self.mem[j];
+        m.set(m.get() + words);
+        if m.get() > self.peak_mem[j].get() {
+            self.peak_mem[j].set(m.get());
+        }
+    }
+
+    /// Record a deallocation of `words` on processor `j`.
+    pub fn free(&self, j: ProcId, words: u64) {
+        let m = &self.mem[j];
+        debug_assert!(m.get() >= words, "freeing more than allocated on {j}");
+        m.set(m.get().saturating_sub(words));
+    }
+
+    /// Advance the superstep counter of every processor in `group` by
+    /// `count`. Used by collectives executed on a (possibly proper)
+    /// subgroup; disjoint subgroups stepping concurrently share global
+    /// supersteps, which this per-processor accounting captures.
+    pub fn step(&self, group: &[ProcId], count: u64) {
+        for &j in group {
+            let s = &self.steps[j];
+            s.set(s.get() + count);
+        }
+    }
+
+    /// Global barrier: fold per-phase maxima of `F`/`W`/`Q` into the
+    /// ledger totals and align all superstep counters to `max + 1`.
+    pub fn fence(&self) {
+        self.fold();
+        let max = self.steps.iter().map(Cell::get).max().unwrap_or(0);
+        for s in &self.steps {
+            s.set(max + 1);
+        }
+    }
+
+    /// Fold the per-phase maxima accumulated since the previous fold
+    /// without advancing supersteps.
+    fn fold(&self) {
+        let mut dmax_f = 0u64;
+        let mut dmax_w = 0u64;
+        let mut dmax_q = 0u64;
+        let mut active = 0usize;
+        for j in 0..self.params.p {
+            let df = self.flops[j].get() - self.fence_flops[j].get();
+            let dw = self.comm[j].get() - self.fence_comm[j].get();
+            let dq = self.vert[j].get() - self.fence_vert[j].get();
+            if df + dw + dq > 0 {
+                active += 1;
+            }
+            dmax_f = dmax_f.max(df);
+            dmax_w = dmax_w.max(dw);
+            dmax_q = dmax_q.max(dq);
+        }
+        self.folded_flops.set(self.folded_flops.get() + dmax_f);
+        self.folded_comm.set(self.folded_comm.get() + dmax_w);
+        self.folded_vert.set(self.folded_vert.get() + dmax_q);
+        if dmax_f + dmax_w + dmax_q > 0 {
+            if let Some(t) = self.trace.borrow_mut().as_mut() {
+                t.push(PhaseRecord {
+                    flops: dmax_f,
+                    horizontal_words: dmax_w,
+                    vertical_words: dmax_q,
+                    active_procs: active,
+                });
+            }
+        }
+        for j in 0..self.params.p {
+            self.fence_flops[j].set(self.flops[j].get());
+            self.fence_comm[j].set(self.comm[j].get());
+            self.fence_vert[j].set(self.vert[j].get());
+        }
+    }
+
+    /// Current cost report. Performs a fold (without a barrier) so that
+    /// work since the last fence is included.
+    pub fn report(&self) -> Costs {
+        self.fold();
+        Costs {
+            flops: self.folded_flops.get(),
+            horizontal_words: self.folded_comm.get(),
+            vertical_words: self.folded_vert.get(),
+            supersteps: self.steps.iter().map(Cell::get).max().unwrap_or(0),
+            peak_memory_words: self.peak_mem.iter().map(Cell::get).max().unwrap_or(0),
+            total_volume_words: self.comm.iter().map(Cell::get).sum(),
+            total_flops: self.flops.iter().map(Cell::get).sum(),
+        }
+    }
+
+    /// Snapshot the ledger so a region's costs can be measured with
+    /// [`Machine::costs_since`].
+    pub fn snapshot(&self) -> CostSnapshot {
+        CostSnapshot {
+            report: self.report(),
+        }
+    }
+
+    /// Costs accumulated since `snap` was taken.
+    pub fn costs_since(&self, snap: &CostSnapshot) -> Costs {
+        self.report().since(&snap.report)
+    }
+
+    /// Per-processor cumulative horizontal words (diagnostics / load
+    /// balance inspection).
+    pub fn comm_per_proc(&self) -> Vec<u64> {
+        self.comm.iter().map(Cell::get).collect()
+    }
+
+    /// Per-processor cumulative flops (diagnostics).
+    pub fn flops_per_proc(&self) -> Vec<u64> {
+        self.flops.iter().map(Cell::get).collect()
+    }
+
+    /// Per-processor current superstep counters (diagnostics).
+    pub fn steps_per_proc(&self) -> Vec<u64> {
+        self.steps.iter().map(Cell::get).collect()
+    }
+}

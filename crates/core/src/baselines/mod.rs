@@ -1,0 +1,16 @@
+//! Baseline symmetric eigensolvers — the comparison rows of Table I.
+//!
+//! * [`scalapack`] — direct blocked tridiagonalization in the style of
+//!   ScaLAPACK's `pdsytrd` \[15\]: every column's Householder vector
+//!   requires a matrix–vector product with the *trailing matrix*, which
+//!   is what pins the baseline at `W = O(n²/√p)`, `Q = O(n³/p)` and
+//!   `S = O(n·polylog)` (§IV's motivation for banded intermediates).
+//! * [`elpa`] — a two-stage reduction in the style of ELPA \[13\]:
+//!   2D (non-replicated) full→band, then a pipelined 1D
+//!   band→tridiagonal, giving `W = O(n²/√p)` with far smaller `Q`.
+
+pub mod elpa;
+pub mod scalapack;
+
+pub use elpa::elpa_two_stage;
+pub use scalapack::scalapack_tridiag;

@@ -1,0 +1,176 @@
+//! Parameterization of the 2.5D eigensolver.
+//!
+//! The paper parameterizes its algorithms by `δ ∈ [1/2, 2/3]`, with a
+//! `q × q × c` processor grid where `q = p^{1−δ}` and `c = p^{2δ−1}`
+//! (the replication factor). In an executable setting the natural free
+//! parameter is `c` (a small power of two) with `q = √(p/c)`; `δ` is
+//! then implied by `c = p^{2δ−1}`.
+
+use ca_pla::Grid;
+
+/// Grid/replication parameters for the 2.5D algorithms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EigenParams {
+    /// Total processors `p = q²·c`.
+    pub p: usize,
+    /// Per-layer grid side `q = p^{1−δ}`.
+    pub q: usize,
+    /// Replication factor `c = p^{2δ−1}` (number of layers).
+    pub c: usize,
+}
+
+impl EigenParams {
+    /// Build parameters from a processor count and replication factor;
+    /// `p/c` must be a perfect square (`q² = p/c`), mirroring the
+    /// paper's `q × q × c` grid requirement.
+    pub fn new(p: usize, c: usize) -> Self {
+        assert!(c >= 1 && p.is_multiple_of(c), "c must divide p");
+        let q2 = p / c;
+        let q = (q2 as f64).sqrt().round() as usize;
+        assert_eq!(q * q, q2, "p/c = {q2} must be a perfect square");
+        assert!(
+            c * c * c <= p,
+            "c = {c} exceeds the paper's c ≤ p^{{1/3}} regime for p = {p}"
+        );
+        Self { p, q, c }
+    }
+
+    /// Build parameters without enforcing `c ≤ p^{1/3}` — for sweeps
+    /// that deliberately leave the paper's regime (e.g. the c-sweep
+    /// experiment, which shows communication *rising* again once the
+    /// replication cost `n²c/p` overtakes the `√c` streaming saving).
+    pub fn new_unchecked(p: usize, c: usize) -> Self {
+        assert!(c >= 1 && p.is_multiple_of(c), "c must divide p");
+        let q2 = p / c;
+        let q = (q2 as f64).sqrt().round() as usize;
+        assert_eq!(q * q, q2, "p/c = {q2} must be a perfect square");
+        Self { p, q, c }
+    }
+
+    /// The implied `δ = (1 + log_p c)/2 ∈ [1/2, 2/3]`.
+    pub fn delta(&self) -> f64 {
+        if self.p <= 1 {
+            return 0.5;
+        }
+        0.5 * (1.0 + (self.c as f64).ln() / (self.p as f64).ln())
+    }
+
+    /// `p^δ = q·c` — the denominator of the headline `W = O(n²/pᵟ)`.
+    pub fn p_delta(&self) -> usize {
+        self.q * self.c
+    }
+
+    /// `p^{2−3δ} = q/c` rounded up to at least 1 — used both for the
+    /// band-width choice of Algorithm IV.3 and the memory parameter `v`
+    /// of the Lemma III.2 multiplies.
+    pub fn p_2m3d(&self) -> usize {
+        (self.q / self.c).max(1)
+    }
+
+    /// The full `q × q × c` grid over processors `0..p`.
+    pub fn grid3(&self) -> Grid {
+        Grid::new_3d((0..self.p).collect(), self.q, self.q, self.c)
+    }
+
+    /// The streaming depth `w = max(1, b·p^{2−3δ}/n)` used by
+    /// Algorithm IV.1's Lemma III.3 multiplies.
+    pub fn stream_depth(&self, n: usize, b: usize) -> usize {
+        (b * self.p_2m3d()).div_ceil(n).max(1)
+    }
+
+    /// Number of processors for the panel QR of Algorithm IV.1:
+    /// `z·pᵟ = p·(b/n)^{(1−δ)/δ}` clamped to `[1, p]`.
+    pub fn panel_qr_procs(&self, n: usize, b: usize) -> usize {
+        let delta = self.delta();
+        let zeta = (1.0 - delta) / delta;
+        let frac = (b as f64 / n as f64).powf(zeta);
+        ((self.p as f64 * frac).round() as usize).clamp(1, self.p)
+    }
+
+    /// Algorithm IV.3's initial band-width
+    /// `b = n / max(p^{2−3δ}, log₂ p)`, rounded down to a power of two
+    /// and clamped to `[2, n/2]`.
+    pub fn initial_bandwidth(&self, n: usize) -> usize {
+        let log_p = (usize::BITS - (self.p.max(2) - 1).leading_zeros()) as usize;
+        let denom = self.p_2m3d().max(log_p).max(1);
+        let raw = (n / denom).max(2).min(n / 2);
+        raw.next_power_of_two() >> if raw.is_power_of_two() { 0 } else { 1 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_endpoints() {
+        // c = 1 ⇒ δ = 1/2 (pure 2D).
+        let p2d = EigenParams::new(16, 1);
+        assert!((p2d.delta() - 0.5).abs() < 1e-12);
+        assert_eq!(p2d.q, 4);
+        // c = p^{1/3} ⇒ δ = 2/3 (full 3D): p = 64, c = 4, q = 4.
+        let p3d = EigenParams::new(64, 4);
+        assert!((p3d.delta() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(p3d.p_delta(), 16);
+    }
+
+    #[test]
+    fn grid_shape_matches() {
+        let p = EigenParams::new(32, 2);
+        assert_eq!(p.grid3().shape(), (4, 4, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "perfect square")]
+    fn rejects_non_square_layers() {
+        let _ = EigenParams::new(24, 2);
+    }
+
+    #[test]
+    fn initial_bandwidth_is_reasonable() {
+        let p = EigenParams::new(16, 1);
+        let b = p.initial_bandwidth(256);
+        assert!((2..=128).contains(&b));
+        assert!(b.is_power_of_two());
+        // δ = 1/2: p^{2−3δ} = p^{1/2} = 4, log₂16 = 4 → b = 256/4 = 64.
+        assert_eq!(b, 64);
+    }
+
+    #[test]
+    fn stream_depth_grows_with_bandwidth() {
+        let p = EigenParams::new(16, 1);
+        assert_eq!(p.stream_depth(256, 16), 1);
+        assert!(p.stream_depth(256, 128) >= 2);
+    }
+
+    #[test]
+    fn single_processor_machine_is_legal() {
+        let p = EigenParams::new(1, 1);
+        assert_eq!(p.q, 1);
+        assert_eq!(p.p_delta(), 1);
+        assert_eq!(p.grid3().len(), 1);
+        assert!(p.initial_bandwidth(32) >= 2);
+    }
+
+    #[test]
+    fn p_delta_equals_q_times_c() {
+        for (p, c) in [(16usize, 1usize), (64, 4), (256, 4)] {
+            let params = EigenParams::new(p, c);
+            // p^δ = p^{(1+log_p c)/2} = √(p·c) = q·c.
+            let analytic = ((p * c) as f64).sqrt();
+            assert!(
+                (params.p_delta() as f64 - analytic).abs() < 1e-9,
+                "p={p} c={c}"
+            );
+        }
+    }
+
+    #[test]
+    fn panel_qr_procs_shrink_with_thin_panels() {
+        let p = EigenParams::new(64, 4);
+        let all = p.panel_qr_procs(256, 256);
+        let thin = p.panel_qr_procs(256, 8);
+        assert_eq!(all, 64);
+        assert!(thin < all && thin >= 1);
+    }
+}

@@ -1,0 +1,101 @@
+//! Analytic cost formulas for local kernels, used by the virtual-BSP
+//! layer to charge `F` (flops) and `Q` (vertical words) when a kernel
+//! runs on a virtual processor.
+//!
+//! The vertical-traffic formulas implement Lemma III.1 (matrix multiply)
+//! and Lemma III.4 (QR) of the paper: with a cache of `H` words, a
+//! cache-oblivious blocked kernel moves `O(operand sizes)` words plus the
+//! classical `O(flops/√H)` term; the paper's simplified accounting drops
+//! the `flops/√H` term under the assumption `ν ≤ γ·√H`, but we expose it
+//! so the full `Q` bound (`O(ν·(F/√H + W))`, §II) can be reconstructed.
+
+/// Flops of an `m×n · n×k` matrix multiplication (multiply–add pairs).
+pub fn gemm_flops(m: usize, n: usize, k: usize) -> u64 {
+    2 * m as u64 * n as u64 * k as u64
+}
+
+/// Vertical words moved by a blocked `m×n · n×k` multiply with cache `H`
+/// (Lemma III.1): the three operands, plus the `mnk/√H` term when the
+/// working set exceeds the cache.
+pub fn gemm_vert(m: usize, n: usize, k: usize, h: u64) -> u64 {
+    let operands = (m * n + n * k + m * k) as u64;
+    if operands <= h {
+        operands
+    } else {
+        let mnk = m as u64 * n as u64 * k as u64;
+        operands + mnk / (h as f64).sqrt().max(1.0) as u64
+    }
+}
+
+/// Flops of a Householder QR of an `m×n` matrix (`m ≥ n`):
+/// `2mn² − (2/3)n³`.
+pub fn qr_flops(m: usize, n: usize) -> u64 {
+    let (m, n) = (m as u64, n as u64);
+    let k = n.min(m);
+    2 * m * k * k - (2 * k * k * k) / 3
+}
+
+/// Vertical words of a sequential CAQR of an `m×n` matrix with cache `H`
+/// (Lemma III.4): `O(mn)` when `ν ≤ γ√H`, plus the `mn²/√H` term
+/// otherwise.
+pub fn qr_vert(m: usize, n: usize, h: u64) -> u64 {
+    let words = (m * n) as u64;
+    if words <= h {
+        words
+    } else {
+        words + (m as u64 * n as u64 * n as u64) / (h as f64).sqrt().max(1.0) as u64
+    }
+}
+
+/// Flops of applying a compact-WY `Q = I − U·T·Uᵀ` (with `U` of shape
+/// `m×k`) to an `m×n` matrix: three GEMMs.
+pub fn apply_q_flops(m: usize, k: usize, n: usize) -> u64 {
+    gemm_flops(k, m, n) + gemm_flops(k, k, n) + gemm_flops(m, k, n)
+}
+
+/// Flops of a non-pivoted LU of an `n×n` matrix: `(2/3)n³`.
+pub fn lu_flops(n: usize) -> u64 {
+    (2 * (n as u64).pow(3)) / 3
+}
+
+/// Flops of a triangular solve with an `n×n` triangle and `k`
+/// right-hand sides: `n²k`.
+pub fn trsm_flops(n: usize, k: usize) -> u64 {
+    (n as u64).pow(2) * k as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_flop_count() {
+        assert_eq!(gemm_flops(2, 3, 4), 48);
+    }
+
+    #[test]
+    fn gemm_vert_small_fits_cache() {
+        // 2·3 + 3·4 + 2·4 = 26 words ≤ H → only operand traffic.
+        assert_eq!(gemm_vert(2, 3, 4, 1024), 26);
+    }
+
+    #[test]
+    fn gemm_vert_large_adds_reuse_term() {
+        let h = 64;
+        let v = gemm_vert(100, 100, 100, h);
+        let operands = 3 * 100 * 100;
+        assert!(v > operands);
+        assert_eq!(v, operands + 1_000_000 / 8);
+    }
+
+    #[test]
+    fn qr_flops_square_matches_formula() {
+        // 2n³ − (2/3)n³ = (4/3)n³ for m = n.
+        assert_eq!(qr_flops(9, 9), 2 * 9 * 81 - 2 * 729 / 3);
+    }
+
+    #[test]
+    fn wide_qr_uses_min_dim() {
+        assert_eq!(qr_flops(4, 10), qr_flops(4, 4));
+    }
+}

@@ -1,0 +1,201 @@
+//! General matrix multiplication, `C ← α·op(A)·op(B) + β·C`.
+//!
+//! The kernel uses an `i-l-j` loop order over row-major data (unit-stride
+//! innermost accumulation, auto-vectorizable) and parallelizes over row
+//! blocks of `C` with rayon when the output is large enough to amortize
+//! task spawning. Transposed operands are materialized once — operand
+//! shapes in this code base are panels, so the copy is cheap relative to
+//! the multiply.
+
+use crate::matrix::Matrix;
+use rayon::prelude::*;
+use std::borrow::Cow;
+
+/// Operand orientation for [`gemm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trans {
+    /// Use the operand as stored.
+    N,
+    /// Use the transpose of the operand.
+    T,
+}
+
+/// Row count threshold above which the kernel parallelizes over rows.
+const PAR_ROWS: usize = 128;
+
+/// `C ← α·op(A)·op(B) + β·C`.
+///
+/// Panics if the operand shapes are inconsistent with `C`.
+pub fn gemm(alpha: f64, a: &Matrix, ta: Trans, b: &Matrix, tb: Trans, beta: f64, c: &mut Matrix) {
+    let a_eff: Cow<Matrix> = match ta {
+        Trans::N => Cow::Borrowed(a),
+        Trans::T => Cow::Owned(a.transpose()),
+    };
+    let b_eff: Cow<Matrix> = match tb {
+        Trans::N => Cow::Borrowed(b),
+        Trans::T => Cow::Owned(b.transpose()),
+    };
+    let (m, k) = (a_eff.rows(), a_eff.cols());
+    let (k2, n) = (b_eff.rows(), b_eff.cols());
+    assert_eq!(k, k2, "gemm: inner dimensions disagree");
+    assert_eq!(c.rows(), m, "gemm: output row count disagrees");
+    assert_eq!(c.cols(), n, "gemm: output column count disagrees");
+    if m == 0 || n == 0 {
+        return;
+    }
+
+    let a_data = a_eff.data();
+    let b_data = b_eff.data();
+    let body = |i: usize, c_row: &mut [f64]| {
+        if beta == 0.0 {
+            c_row.fill(0.0);
+        } else if beta != 1.0 {
+            for v in c_row.iter_mut() {
+                *v *= beta;
+            }
+        }
+        if k == 0 {
+            return;
+        }
+        let a_row = &a_data[i * k..(i + 1) * k];
+        for (l, &ail) in a_row.iter().enumerate() {
+            let f = alpha * ail;
+            if f == 0.0 {
+                continue;
+            }
+            let b_row = &b_data[l * n..(l + 1) * n];
+            for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                *cv += f * bv;
+            }
+        }
+    };
+
+    if m >= PAR_ROWS {
+        c.data_mut()
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, row)| body(i, row));
+    } else {
+        for (i, row) in c.data_mut().chunks_mut(n).enumerate() {
+            body(i, row);
+        }
+    }
+}
+
+/// Convenience: allocate and return `op(A)·op(B)`.
+pub fn matmul(a: &Matrix, ta: Trans, b: &Matrix, tb: Trans) -> Matrix {
+    let m = match ta {
+        Trans::N => a.rows(),
+        Trans::T => a.cols(),
+    };
+    let n = match tb {
+        Trans::N => b.cols(),
+        Trans::T => b.rows(),
+    };
+    let mut c = Matrix::zeros(m, n);
+    gemm(1.0, a, ta, b, tb, 0.0, &mut c);
+    c
+}
+
+/// Dense symmetric matrix–vector product `y = A·x` (used by the
+/// ScaLAPACK-style baseline's per-column trailing updates).
+pub fn symv(a: &Matrix, x: &[f64]) -> Vec<f64> {
+    assert_eq!(a.rows(), a.cols());
+    assert_eq!(a.rows(), x.len());
+    let n = x.len();
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let row = a.row(i);
+        let mut acc = 0.0;
+        for j in 0..n {
+            acc += row[j] * x[j];
+        }
+        y[i] = acc;
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0;
+                for l in 0..a.cols() {
+                    s += a.get(i, l) * b.get(l, j);
+                }
+                c.set(i, j, s);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn matches_naive_nn() {
+        let a = Matrix::from_fn(7, 5, |i, j| (i * 5 + j) as f64 * 0.1);
+        let b = Matrix::from_fn(5, 6, |i, j| (i as f64) - (j as f64) * 0.5);
+        assert!(matmul(&a, Trans::N, &b, Trans::N).max_diff(&naive(&a, &b)) < 1e-12);
+    }
+
+    #[test]
+    fn matches_naive_transposed() {
+        let a = Matrix::from_fn(4, 7, |i, j| ((i + 1) * (j + 2)) as f64 * 0.01);
+        let b = Matrix::from_fn(6, 4, |i, j| (i as f64 * 1.5) - j as f64);
+        let c = matmul(&a, Trans::T, &b, Trans::T);
+        let reference = naive(&a.transpose(), &b.transpose());
+        assert!(c.max_diff(&reference) < 1e-12);
+    }
+
+    #[test]
+    fn alpha_beta_accumulate() {
+        let a = Matrix::from_fn(3, 3, |i, j| (i + j) as f64);
+        let b = Matrix::identity(3);
+        let mut c = Matrix::from_fn(3, 3, |_, _| 1.0);
+        gemm(2.0, &a, Trans::N, &b, Trans::N, 3.0, &mut c);
+        // C = 2A + 3·ones
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(c.get(i, j), 2.0 * (i + j) as f64 + 3.0);
+            }
+        }
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Matrix::from_fn(5, 5, |i, j| ((i * j) as f64).sin());
+        let c = matmul(&a, Trans::N, &Matrix::identity(5), Trans::N);
+        assert!(c.max_diff(&a) < 1e-15);
+    }
+
+    #[test]
+    fn large_parallel_path_matches() {
+        let a = Matrix::from_fn(200, 30, |i, j| ((i * 31 + j * 7) % 13) as f64 - 6.0);
+        let b = Matrix::from_fn(30, 40, |i, j| ((i * 17 + j * 3) % 11) as f64 - 5.0);
+        assert!(matmul(&a, Trans::N, &b, Trans::N).max_diff(&naive(&a, &b)) < 1e-10);
+    }
+
+    #[test]
+    fn symv_matches_gemm() {
+        let mut a = Matrix::from_fn(6, 6, |i, j| ((i * 6 + j) as f64).cos());
+        a.symmetrize();
+        let x: Vec<f64> = (0..6).map(|i| i as f64 - 2.5).collect();
+        let xm = Matrix::from_vec(6, 1, x.clone());
+        let want = matmul(&a, Trans::N, &xm, Trans::N);
+        let got = symv(&a, &x);
+        for i in 0..6 {
+            assert!((got[i] - want.get(i, 0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_inner_dimension_zeroes_output() {
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 4);
+        let mut c = Matrix::from_fn(3, 4, |_, _| 7.0);
+        gemm(1.0, &a, Trans::N, &b, Trans::N, 0.0, &mut c);
+        assert_eq!(c.norm_max(), 0.0);
+    }
+}

@@ -1,0 +1,266 @@
+//! Reproducible matrix generators.
+//!
+//! The evaluation strategy (DESIGN.md §2) replaces the paper's production
+//! workloads by synthetic symmetric matrices with *prescribed spectra*:
+//! `A = Q·diag(λ)·Qᵀ` for a random orthogonal `Q`, which makes every
+//! reduction stage of the eigensolver verifiable (the eigenvalues must be
+//! preserved exactly, up to rounding, by each orthogonal similarity).
+
+use crate::gemm::{matmul, Trans};
+use crate::matrix::Matrix;
+use crate::qr::{explicit_q, qr_factor};
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+
+/// Dense `m × n` matrix with i.i.d. entries in `[-1, 1)`.
+pub fn random_matrix<R: Rng>(rng: &mut R, m: usize, n: usize) -> Matrix {
+    let dist = Uniform::new(-1.0f64, 1.0);
+    Matrix::from_fn(m, n, |_, _| dist.sample(rng))
+}
+
+/// Random `n × n` orthogonal matrix: the explicit `Q` factor of the QR
+/// factorization of a random Gaussian-ish matrix.
+pub fn random_orthogonal<R: Rng>(rng: &mut R, n: usize) -> Matrix {
+    let a = random_matrix(rng, n, n);
+    let f = qr_factor(&a, 8.min(n).max(1));
+    explicit_q(&f.u, &f.t, n)
+}
+
+/// Symmetric matrix with the prescribed spectrum: `A = Q·diag(λ)·Qᵀ`.
+pub fn symmetric_with_spectrum<R: Rng>(rng: &mut R, eigenvalues: &[f64]) -> Matrix {
+    let n = eigenvalues.len();
+    let q = random_orthogonal(rng, n);
+    let mut qd = q.clone();
+    for i in 0..n {
+        for j in 0..n {
+            qd.set(i, j, q.get(i, j) * eigenvalues[j]);
+        }
+    }
+    let mut a = matmul(&qd, Trans::N, &q, Trans::T);
+    a.symmetrize();
+    a
+}
+
+/// Random dense symmetric matrix with entries in `[-1, 1)`.
+pub fn random_symmetric<R: Rng>(rng: &mut R, n: usize) -> Matrix {
+    let mut a = random_matrix(rng, n, n);
+    a.symmetrize();
+    a
+}
+
+/// Random symmetric matrix of bandwidth exactly `b` (dense storage).
+pub fn random_banded<R: Rng>(rng: &mut R, n: usize, b: usize) -> Matrix {
+    let dist = Uniform::new(-1.0f64, 1.0);
+    let mut a = Matrix::from_fn(n, n, |i, j| {
+        if i.abs_diff(j) <= b {
+            dist.sample(rng)
+        } else {
+            0.0
+        }
+    });
+    a.symmetrize();
+    // Make the band edge structurally nonzero so bandwidth(b) is exact.
+    if b > 0 && n > b {
+        for i in b..n {
+            a.set(i, i - b, 1.0);
+            a.set(i - b, i, 1.0);
+        }
+    }
+    a
+}
+
+/// A linearly spaced spectrum in `[lo, hi]`, a convenient well-separated
+/// test spectrum.
+pub fn linspace_spectrum(n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    if n == 1 {
+        return vec![lo];
+    }
+    (0..n)
+        .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+        .collect()
+}
+
+/// 1D tight-binding ring Hamiltonian with on-site disorder: a real
+/// symmetric matrix with hopping `t` between nearest neighbours on a ring
+/// of `n` sites and random on-site energies in `[-w/2, w/2]` (the Anderson
+/// model). This is the kind of electronic-structure matrix the paper's
+/// introduction motivates (Hartree–Fock etc. compute eigenvalues of a
+/// sequence of such symmetric operators).
+pub fn tight_binding_ring<R: Rng>(rng: &mut R, n: usize, t: f64, disorder: f64) -> Matrix {
+    let dist = Uniform::new(-0.5f64, 0.5);
+    let mut a = Matrix::zeros(n, n);
+    for i in 0..n {
+        a.set(i, i, disorder * dist.sample(rng));
+        let j = (i + 1) % n;
+        a.set(i, j, -t);
+        a.set(j, i, -t);
+    }
+    a
+}
+
+/// Wilkinson's `W_n⁺` matrix: tridiagonal with `d_i = |i − (n−1)/2|`,
+/// `e_i = 1` — the classic stress test with pathologically close
+/// eigenvalue pairs.
+pub fn wilkinson(n: usize) -> Matrix {
+    let mid = (n as f64 - 1.0) / 2.0;
+    let mut a = Matrix::zeros(n, n);
+    for i in 0..n {
+        a.set(i, i, (i as f64 - mid).abs());
+        if i + 1 < n {
+            a.set(i, i + 1, 1.0);
+            a.set(i + 1, i, 1.0);
+        }
+    }
+    a
+}
+
+/// The Clement (Kac–Sylvester) matrix, symmetrized: tridiagonal with
+/// zero diagonal and `e_i = √((i+1)(n−1−i))`; its spectrum is exactly
+/// `{−(n−1), −(n−3), …, n−3, n−1}` — an analytic whole-spectrum check.
+pub fn clement(n: usize) -> Matrix {
+    let mut a = Matrix::zeros(n, n);
+    for i in 0..n.saturating_sub(1) {
+        let e = (((i + 1) * (n - 1 - i)) as f64).sqrt();
+        a.set(i, i + 1, e);
+        a.set(i + 1, i, e);
+    }
+    a
+}
+
+/// Symmetric banded Toeplitz matrix: constant `coeffs[d]` on diagonal
+/// `d` (`coeffs[0]` on the main diagonal). Bandwidth `coeffs.len() − 1`.
+pub fn toeplitz_band(n: usize, coeffs: &[f64]) -> Matrix {
+    assert!(!coeffs.is_empty());
+    Matrix::from_fn(n, n, |i, j| {
+        let d = i.abs_diff(j);
+        if d < coeffs.len() {
+            coeffs[d]
+        } else {
+            0.0
+        }
+    })
+}
+
+/// 2D Laplacian on an `nx × ny` grid with Dirichlet boundaries
+/// (a banded symmetric positive definite matrix of bandwidth `nx`).
+pub fn laplacian_2d(nx: usize, ny: usize) -> Matrix {
+    let n = nx * ny;
+    let mut a = Matrix::zeros(n, n);
+    for y in 0..ny {
+        for x in 0..nx {
+            let i = y * nx + x;
+            a.set(i, i, 4.0);
+            if x + 1 < nx {
+                a.set(i, i + 1, -1.0);
+                a.set(i + 1, i, -1.0);
+            }
+            if y + 1 < ny {
+                a.set(i, i + nx, -1.0);
+                a.set(i + nx, i, -1.0);
+            }
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn orthogonal_is_orthogonal() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let q = random_orthogonal(&mut rng, 12);
+        let qtq = matmul(&q, Trans::T, &q, Trans::N);
+        assert!(qtq.max_diff(&Matrix::identity(12)) < 1e-11);
+    }
+
+    #[test]
+    fn prescribed_spectrum_has_right_trace() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let lambda = linspace_spectrum(9, -4.0, 4.0);
+        let a = symmetric_with_spectrum(&mut rng, &lambda);
+        let trace: f64 = (0..9).map(|i| a.get(i, i)).sum();
+        let sum: f64 = lambda.iter().sum();
+        assert!((trace - sum).abs() < 1e-10);
+        assert_eq!(a.asymmetry(), 0.0);
+    }
+
+    #[test]
+    fn prescribed_spectrum_frobenius_matches() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let lambda = vec![1.0, 2.0, 3.0, 4.0];
+        let a = symmetric_with_spectrum(&mut rng, &lambda);
+        // ‖A‖_F² = Σ λᵢ² for symmetric A.
+        let want: f64 = lambda.iter().map(|l| l * l).sum::<f64>().sqrt();
+        assert!((a.norm_fro() - want).abs() < 1e-10);
+    }
+
+    #[test]
+    fn banded_has_exact_bandwidth() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let a = random_banded(&mut rng, 20, 3);
+        assert_eq!(a.bandwidth(1e-14), 3);
+        assert_eq!(a.asymmetry(), 0.0);
+    }
+
+    #[test]
+    fn tight_binding_is_symmetric_banded_on_ring() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let a = tight_binding_ring(&mut rng, 16, 1.0, 2.0);
+        assert_eq!(a.asymmetry(), 0.0);
+        // Ring wrap makes bandwidth n−1 in dense index space.
+        assert_eq!(a.bandwidth(1e-14), 15);
+    }
+
+    #[test]
+    fn clement_spectrum_is_arithmetic() {
+        use crate::tridiag::banded_eigenvalues;
+        use crate::BandedSym;
+        let n = 12;
+        let a = clement(n);
+        let b = BandedSym::from_dense(&a, 1, 2);
+        let ev = banded_eigenvalues(&b);
+        for (k, lam) in ev.iter().enumerate() {
+            let want = -(n as f64 - 1.0) + 2.0 * k as f64;
+            assert!((lam - want).abs() < 1e-9, "λ_{k} = {lam}, want {want}");
+        }
+    }
+
+    #[test]
+    fn wilkinson_has_close_pairs() {
+        use crate::tridiag::tridiag_eigenvalues;
+        let a = wilkinson(21);
+        let d: Vec<f64> = (0..21).map(|i| a.get(i, i)).collect();
+        let e: Vec<f64> = (0..20).map(|i| a.get(i + 1, i)).collect();
+        let ev = tridiag_eigenvalues(&d, &e);
+        // The two largest eigenvalues agree to ~1e-6 but not exactly.
+        let gap = ev[20] - ev[19];
+        assert!(gap > 0.0 && gap < 1e-5);
+    }
+
+    #[test]
+    fn toeplitz_band_structure() {
+        let a = toeplitz_band(10, &[2.0, -1.0, 0.25]);
+        assert_eq!(a.bandwidth(1e-14), 2);
+        assert_eq!(a.asymmetry(), 0.0);
+        assert_eq!(a.get(5, 5), 2.0);
+        assert_eq!(a.get(5, 4), -1.0);
+        assert_eq!(a.get(5, 3), 0.25);
+        assert_eq!(a.get(5, 2), 0.0);
+    }
+
+    #[test]
+    fn laplacian_is_spd_like() {
+        let a = laplacian_2d(4, 3);
+        assert_eq!(a.asymmetry(), 0.0);
+        assert_eq!(a.bandwidth(1e-14), 4);
+        // Diagonally dominant ⇒ positive definite.
+        for i in 0..12 {
+            let off: f64 = (0..12).filter(|&j| j != i).map(|j| a.get(i, j).abs()).sum();
+            assert!(a.get(i, i) >= off);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # ca-dla — sequential dense & banded linear algebra kernels
+//!
+//! From-scratch implementations of every local kernel the
+//! communication-avoiding symmetric eigensolver of Solomonik et al.
+//! (SPAA'17) relies on:
+//!
+//! * dense matrices and blocked GEMM ([`matrix`], [`gemm`]) — the paper's
+//!   Lemma III.1 building block,
+//! * blocked Householder QR with compact-WY `(U, T)` representation
+//!   ([`qr`]) — Lemma III.4,
+//! * non-pivoted LU and triangular solves ([`lu`]) — the substrate for
+//!   Householder reconstruction (Corollary III.7),
+//! * symmetric banded storage and the bulge-chasing elimination kernel
+//!   with the exact index ranges of Algorithm IV.2 ([`band`], [`bulge`]),
+//! * symmetric tridiagonal eigensolvers: implicit-shift QL and
+//!   Sturm-sequence bisection ([`tridiag`], [`sturm`]),
+//! * reproducible matrix generators with prescribed spectra ([`gen`]),
+//! * analytic flop / vertical-traffic cost formulas ([`costs`]) used by
+//!   the virtual-BSP layer to charge local work.
+//!
+//! All kernels are pure (no dependency on the cost model); the `ca-pla`
+//! crate wraps them with cost charging when they run on a virtual
+//! processor.
+
+// Index-heavy numerical code: range loops over several arrays at once
+// are the clearer idiom here.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+pub mod band;
+pub mod bulge;
+pub mod costs;
+pub mod gemm;
+pub mod gen;
+pub mod lu;
+pub mod matrix;
+pub mod qr;
+pub mod sturm;
+pub mod sym;
+pub mod tridiag;
+
+pub use band::BandedSym;
+pub use gemm::{gemm, matmul, Trans};
+pub use matrix::Matrix;
+pub use qr::QrFactors;

@@ -1,0 +1,252 @@
+//! Non-pivoted LU factorization and triangular solves.
+//!
+//! The paper uses non-pivoted LU in exactly one place: Householder
+//! reconstruction (Corollary III.7, after Ballard et al. \[26\]), where the
+//! matrix `Q₁ − S` (orthonormal-columns block minus a diagonal sign
+//! matrix) is diagonally dominant by construction, so pivoting is not
+//! required for stability.
+
+use crate::matrix::Matrix;
+
+/// Which triangle a triangular-solve operand occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Triangle {
+    /// Lower-triangular operand.
+    Lower,
+    /// Upper-triangular operand.
+    Upper,
+}
+
+/// Whether the triangular operand has an implicit unit diagonal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Diag {
+    /// Implicit unit diagonal (not stored).
+    Unit,
+    /// Explicit diagonal entries.
+    NonUnit,
+}
+
+/// Non-pivoted LU factorization `A = L·U` of a square matrix.
+///
+/// Returns `(L, U)` with `L` unit lower-triangular and `U`
+/// upper-triangular. Panics if a zero (or exactly-zero) pivot is
+/// encountered; callers must supply matrices for which non-pivoted LU is
+/// stable (diagonally dominant, as in the reconstruction use-case).
+pub fn lu_nopivot(a: &Matrix) -> (Matrix, Matrix) {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "LU requires a square matrix");
+    let mut w = a.clone();
+    for k in 0..n {
+        let pivot = w.get(k, k);
+        assert!(
+            pivot != 0.0,
+            "lu_nopivot: zero pivot at {k}; matrix is not non-pivoted-LU factorizable"
+        );
+        for i in k + 1..n {
+            let m = w.get(i, k) / pivot;
+            w.set(i, k, m);
+            if m != 0.0 {
+                for j in k + 1..n {
+                    w.add_to(i, j, -m * w.get(k, j));
+                }
+            }
+        }
+    }
+    let mut l = Matrix::identity(n);
+    let mut u = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            if j < i {
+                l.set(i, j, w.get(i, j));
+            } else {
+                u.set(i, j, w.get(i, j));
+            }
+        }
+    }
+    (l, u)
+}
+
+/// Non-pivoted LU with on-the-fly diagonal sign subtraction, the
+/// Householder-reconstruction variant of Ballard et al. \[26\]: factors
+/// `A − S = L·U` where `S = diag(s)` is chosen during elimination as
+/// `sᵢ = −sgn(pivotᵢ)`, which makes every pivot at least 1 in magnitude
+/// when `A` has orthonormal columns. Returns `(L, U, s)`.
+pub fn lu_nopivot_signed(a: &Matrix) -> (Matrix, Matrix, Vec<f64>) {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "LU requires a square matrix");
+    let mut w = a.clone();
+    let mut signs = Vec::with_capacity(n);
+    for k in 0..n {
+        let s = if w.get(k, k) >= 0.0 { -1.0 } else { 1.0 };
+        signs.push(s);
+        w.add_to(k, k, -s);
+        let pivot = w.get(k, k);
+        for i in k + 1..n {
+            let mult = w.get(i, k) / pivot;
+            w.set(i, k, mult);
+            if mult != 0.0 {
+                for j in k + 1..n {
+                    w.add_to(i, j, -mult * w.get(k, j));
+                }
+            }
+        }
+    }
+    let mut l = Matrix::identity(n);
+    let mut u = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            if j < i {
+                l.set(i, j, w.get(i, j));
+            } else {
+                u.set(i, j, w.get(i, j));
+            }
+        }
+    }
+    (l, u, signs)
+}
+
+/// Solve `op(T)·X = B` in place where `T` is triangular (left-sided
+/// triangular solve, `X` overwrites `b`).
+pub fn trsm_left(t: &Matrix, tri: Triangle, diag: Diag, transposed: bool, b: &mut Matrix) {
+    let n = t.rows();
+    assert_eq!(n, t.cols());
+    assert_eq!(b.rows(), n);
+    let nrhs = b.cols();
+    // Effective triangle after an optional transpose.
+    let eff_lower = matches!(
+        (tri, transposed),
+        (Triangle::Lower, false) | (Triangle::Upper, true)
+    );
+    let get = |i: usize, j: usize| -> f64 {
+        if transposed {
+            t.get(j, i)
+        } else {
+            t.get(i, j)
+        }
+    };
+    for c in 0..nrhs {
+        if eff_lower {
+            for i in 0..n {
+                let mut v = b.get(i, c);
+                for j in 0..i {
+                    v -= get(i, j) * b.get(j, c);
+                }
+                if matches!(diag, Diag::NonUnit) {
+                    v /= get(i, i);
+                }
+                b.set(i, c, v);
+            }
+        } else {
+            for i in (0..n).rev() {
+                let mut v = b.get(i, c);
+                for j in i + 1..n {
+                    v -= get(i, j) * b.get(j, c);
+                }
+                if matches!(diag, Diag::NonUnit) {
+                    v /= get(i, i);
+                }
+                b.set(i, c, v);
+            }
+        }
+    }
+}
+
+/// Solve `X·op(T) = B` in place (right-sided triangular solve).
+pub fn trsm_right(t: &Matrix, tri: Triangle, diag: Diag, transposed: bool, b: &mut Matrix) {
+    // X·op(T) = B  ⇔  op(T)ᵀ·Xᵀ = Bᵀ.
+    let mut bt = b.transpose();
+    trsm_left(t, tri, diag, !transposed, &mut bt);
+    *b = bt.transpose();
+}
+
+/// Explicit inverse of a triangular matrix.
+pub fn tri_inverse(t: &Matrix, tri: Triangle, diag: Diag) -> Matrix {
+    let n = t.rows();
+    let mut inv = Matrix::identity(n);
+    trsm_left(t, tri, diag, false, &mut inv);
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{matmul, Trans};
+    use crate::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn diag_dominant(n: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut a = gen::random_matrix(&mut rng, n, n);
+        for i in 0..n {
+            a.set(i, i, n as f64 + a.get(i, i));
+        }
+        a
+    }
+
+    #[test]
+    fn lu_reconstructs() {
+        let a = diag_dominant(9, 20);
+        let (l, u) = lu_nopivot(&a);
+        let la = matmul(&l, Trans::N, &u, Trans::N);
+        assert!(la.max_diff(&a) < 1e-10);
+        // L unit lower, U upper.
+        for i in 0..9 {
+            assert_eq!(l.get(i, i), 1.0);
+            for j in i + 1..9 {
+                assert_eq!(l.get(i, j), 0.0);
+                assert_eq!(u.get(j, i), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_left_lower_solves() {
+        let a = diag_dominant(7, 21);
+        let (l, _) = lu_nopivot(&a);
+        let mut rng = StdRng::seed_from_u64(22);
+        let x = gen::random_matrix(&mut rng, 7, 3);
+        let mut b = matmul(&l, Trans::N, &x, Trans::N);
+        trsm_left(&l, Triangle::Lower, Diag::Unit, false, &mut b);
+        assert!(b.max_diff(&x) < 1e-10);
+    }
+
+    #[test]
+    fn trsm_left_upper_transposed_solves() {
+        let a = diag_dominant(6, 23);
+        let (_, u) = lu_nopivot(&a);
+        let mut rng = StdRng::seed_from_u64(24);
+        let x = gen::random_matrix(&mut rng, 6, 2);
+        let mut b = matmul(&u, Trans::T, &x, Trans::N);
+        trsm_left(&u, Triangle::Upper, Diag::NonUnit, true, &mut b);
+        assert!(b.max_diff(&x) < 1e-9);
+    }
+
+    #[test]
+    fn trsm_right_solves() {
+        let a = diag_dominant(5, 25);
+        let (_, u) = lu_nopivot(&a);
+        let mut rng = StdRng::seed_from_u64(26);
+        let x = gen::random_matrix(&mut rng, 3, 5);
+        let mut b = matmul(&x, Trans::N, &u, Trans::N);
+        trsm_right(&u, Triangle::Upper, Diag::NonUnit, false, &mut b);
+        assert!(b.max_diff(&x) < 1e-9);
+    }
+
+    #[test]
+    fn tri_inverse_inverts() {
+        let a = diag_dominant(8, 27);
+        let (l, u) = lu_nopivot(&a);
+        let li = tri_inverse(&l, Triangle::Lower, Diag::Unit);
+        let ui = tri_inverse(&u, Triangle::Upper, Diag::NonUnit);
+        assert!(matmul(&l, Trans::N, &li, Trans::N).max_diff(&Matrix::identity(8)) < 1e-10);
+        assert!(matmul(&u, Trans::N, &ui, Trans::N).max_diff(&Matrix::identity(8)) < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero pivot")]
+    fn zero_pivot_panics() {
+        let a = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let _ = lu_nopivot(&a);
+    }
+}

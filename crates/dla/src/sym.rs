@@ -1,0 +1,224 @@
+//! Symmetric-structure kernels: the rank-2k two-sided update of
+//! Eqn. (IV.1), symmetric rank-k products, banded matrix–vector
+//! products, and norm estimators.
+//!
+//! These round out the dense-kernel surface a production library needs
+//! around the eigensolver (residual computation, norm-relative
+//! tolerances, convergence diagnostics).
+
+use crate::band::BandedSym;
+use crate::gemm::{gemm, Trans};
+use crate::matrix::Matrix;
+
+/// The paper's aggregated two-sided update (Eqn. IV.1):
+/// `A ← A + U·Vᵀ + V·Uᵀ` with `A` symmetric (`U`, `V` of shape `n×k`).
+/// Exact symmetry of the result is enforced structurally (the update is
+/// applied to the lower triangle and mirrored).
+pub fn two_sided_update(a: &mut Matrix, u: &Matrix, v: &Matrix) {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "A must be square");
+    assert_eq!(u.rows(), n, "U row count");
+    assert_eq!(v.rows(), n, "V row count");
+    assert_eq!(u.cols(), v.cols(), "U/V widths");
+    let k = u.cols();
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = 0.0;
+            for l in 0..k {
+                s += u.get(i, l) * v.get(j, l) + v.get(i, l) * u.get(j, l);
+            }
+            let val = a.get(i, j) + s;
+            a.set(i, j, val);
+            a.set(j, i, val);
+        }
+    }
+}
+
+/// Symmetric rank-k update `C ← α·A·Aᵀ + β·C` (result exactly
+/// symmetric; only the lower triangle is computed).
+pub fn syrk(alpha: f64, a: &Matrix, beta: f64, c: &mut Matrix) {
+    let n = a.rows();
+    assert_eq!(c.rows(), n);
+    assert_eq!(c.cols(), n);
+    let k = a.cols();
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = 0.0;
+            for l in 0..k {
+                s += a.get(i, l) * a.get(j, l);
+            }
+            let val = alpha * s + beta * c.get(i, j);
+            c.set(i, j, val);
+            c.set(j, i, val);
+        }
+    }
+}
+
+/// Banded symmetric matrix–vector product `y = B·x` in `O(n·b)`.
+pub fn symv_banded(b: &BandedSym, x: &[f64]) -> Vec<f64> {
+    let n = b.n();
+    assert_eq!(x.len(), n);
+    let cap = b.capacity();
+    let mut y = vec![0.0; n];
+    for j in 0..n {
+        // Diagonal.
+        y[j] += b.get(j, j) * x[j];
+        // Sub-diagonal band (and its mirror).
+        for i in j + 1..n.min(j + cap + 1) {
+            let v = b.get(i, j);
+            if v != 0.0 {
+                y[i] += v * x[j];
+                y[j] += v * x[i];
+            }
+        }
+    }
+    y
+}
+
+/// Matrix 1-norm (max column sum).
+pub fn one_norm(a: &Matrix) -> f64 {
+    let mut best = 0.0f64;
+    for j in 0..a.cols() {
+        let mut s = 0.0;
+        for i in 0..a.rows() {
+            s += a.get(i, j).abs();
+        }
+        best = best.max(s);
+    }
+    best
+}
+
+/// Matrix ∞-norm (max row sum).
+pub fn inf_norm(a: &Matrix) -> f64 {
+    let mut best = 0.0f64;
+    for i in 0..a.rows() {
+        let s: f64 = a.row(i).iter().map(|v| v.abs()).sum();
+        best = best.max(s);
+    }
+    best
+}
+
+/// 2-norm estimate by power iteration on `AᵀA` (`iters` steps).
+/// For symmetric `A` this converges to `|λ|_max`.
+pub fn two_norm_est(a: &Matrix, iters: usize) -> f64 {
+    let (m, n) = (a.rows(), a.cols());
+    if m == 0 || n == 0 {
+        return 0.0;
+    }
+    let mut x = Matrix::from_fn(n, 1, |i, _| 1.0 + (i as f64 * 0.7).sin());
+    let mut norm = 0.0;
+    for _ in 0..iters.max(1) {
+        // y = A·x; x ← Aᵀ·y (normalized).
+        let mut y = Matrix::zeros(m, 1);
+        gemm(1.0, a, Trans::N, &x, Trans::N, 0.0, &mut y);
+        let mut z = Matrix::zeros(n, 1);
+        gemm(1.0, a, Trans::T, &y, Trans::N, 0.0, &mut z);
+        let zn = z.norm_fro();
+        if zn == 0.0 {
+            return 0.0;
+        }
+        norm = (zn / x.norm_fro().max(1e-300)).sqrt();
+        z.scale(1.0 / zn);
+        x = z;
+    }
+    norm
+}
+
+/// Max-norm residual `‖A·V − V·diag(λ)‖_max` — the standard eigenpair
+/// quality metric used throughout the tests and the CLI.
+pub fn eigen_residual(a: &Matrix, v: &Matrix, lambda: &[f64]) -> f64 {
+    let n = a.rows();
+    assert_eq!(v.rows(), n);
+    assert_eq!(v.cols(), lambda.len());
+    let mut av = Matrix::zeros(n, v.cols());
+    gemm(1.0, a, Trans::N, v, Trans::N, 0.0, &mut av);
+    let mut vl = v.clone();
+    for i in 0..n {
+        for (j, l) in lambda.iter().enumerate() {
+            vl.set(i, j, v.get(i, j) * l);
+        }
+    }
+    av.max_diff(&vl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+    use crate::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn two_sided_update_matches_gemms() {
+        let mut rng = StdRng::seed_from_u64(70);
+        let mut a = gen::random_symmetric(&mut rng, 10);
+        let u = gen::random_matrix(&mut rng, 10, 3);
+        let v = gen::random_matrix(&mut rng, 10, 3);
+        let mut want = a.clone();
+        let uvt = matmul(&u, Trans::N, &v, Trans::T);
+        want.axpy(1.0, &uvt);
+        want.axpy(1.0, &uvt.transpose());
+        two_sided_update(&mut a, &u, &v);
+        assert!(a.max_diff(&want) < 1e-12);
+        assert_eq!(a.asymmetry(), 0.0);
+    }
+
+    #[test]
+    fn syrk_matches_gemm() {
+        let mut rng = StdRng::seed_from_u64(71);
+        let a = gen::random_matrix(&mut rng, 8, 5);
+        let mut c = gen::random_symmetric(&mut rng, 8);
+        let mut want = c.clone();
+        want.scale(0.5);
+        want.axpy(2.0, &matmul(&a, Trans::N, &a, Trans::T));
+        syrk(2.0, &a, 0.5, &mut c);
+        assert!(c.max_diff(&want) < 1e-12);
+        assert_eq!(c.asymmetry(), 0.0);
+    }
+
+    #[test]
+    fn banded_symv_matches_dense() {
+        let mut rng = StdRng::seed_from_u64(72);
+        let dense = gen::random_banded(&mut rng, 14, 3);
+        let b = BandedSym::from_dense(&dense, 3, 5);
+        let x: Vec<f64> = (0..14).map(|i| (i as f64 * 0.3).cos()).collect();
+        let want = crate::gemm::symv(&dense, &x);
+        let got = symv_banded(&b, &x);
+        for (a, bb) in want.iter().zip(&got) {
+            assert!((a - bb).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn norms_on_known_matrix() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, -2.0, 3.0, -4.0, 5.0, -6.0]);
+        assert_eq!(one_norm(&a), 9.0); // col 2: |3| + |−6|... cols sums: 5, 7, 9
+        assert_eq!(inf_norm(&a), 15.0); // row 1: 4+5+6
+    }
+
+    #[test]
+    fn two_norm_estimate_close_to_spectral_norm() {
+        let mut rng = StdRng::seed_from_u64(73);
+        let lambda = gen::linspace_spectrum(12, -3.0, 7.0);
+        let a = gen::symmetric_with_spectrum(&mut rng, &lambda);
+        let est = two_norm_est(&a, 60);
+        assert!((est - 7.0).abs() < 0.05, "estimate {est}");
+    }
+
+    #[test]
+    fn eigen_residual_zero_for_exact_pairs() {
+        let mut rng = StdRng::seed_from_u64(74);
+        let q = gen::random_orthogonal(&mut rng, 6);
+        let lambda = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        // A = QΛQᵀ, so (Q, Λ) are exact eigenpairs.
+        let mut ql = q.clone();
+        for i in 0..6 {
+            for j in 0..6 {
+                ql.set(i, j, q.get(i, j) * lambda[j]);
+            }
+        }
+        let a = matmul(&ql, Trans::N, &q, Trans::T);
+        assert!(eigen_residual(&a, &q, &lambda) < 1e-12);
+    }
+}

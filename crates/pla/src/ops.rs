@@ -1,0 +1,200 @@
+//! Panel-shaped multiply helpers: the cheap communication patterns for
+//! products of a row-spread panel with a small resident matrix.
+//!
+//! The paper's trailing-update chains (Algorithm IV.1 line 9,
+//! Algorithm IV.2 lines 19–20, "done right to left") multiply tall
+//! panels by tiny `T`-sized squares. Routing those through the full
+//! recursive multiply would re-spread operands at every level; the
+//! natural realizations are
+//!
+//! * [`rmul_small`] — `A·B` with `A` row-spread and `B` small: broadcast
+//!   `B` (`O(|B|)` words per processor), multiply row slices locally;
+//!   falls back to [`crate::carma`] when `B` is too large for the
+//!   broadcast to win.
+//! * [`tmul_reduce`] — `Aᵀ·B` with both operands row-spread over the
+//!   same group: local partial products plus an all-reduce of the small
+//!   output.
+
+use crate::carma::carma;
+use crate::coll;
+use crate::grid::Grid;
+use ca_bsp::Machine;
+use ca_dla::gemm::{matmul, Trans};
+use ca_dla::Matrix;
+
+/// `A·B` where `A` (`m×k`) is row-spread over `group` and `B` (`k×n`)
+/// is small. Chooses between the broadcast-and-multiply pattern and the
+/// recursive multiply by comparing their per-processor traffic.
+pub fn rmul_small(m: &Machine, group: &Grid, v_mem: usize, a: &Matrix, b: &Matrix) -> Matrix {
+    let g = group.len() as u64;
+    let bcast_words = b.len() as u64;
+    let spread_words = 2 * (a.len() as u64 + a.rows() as u64 * b.cols() as u64) / g.max(1);
+    if g <= 1 || bcast_words <= spread_words {
+        coll::bcast(m, group, 0, bcast_words);
+        for &pid in group.procs() {
+            m.charge_flops(
+                pid,
+                ca_dla::costs::gemm_flops(a.rows(), a.cols(), b.cols()) / g,
+            );
+            m.charge_vert(
+                pid,
+                (a.len() as u64 + bcast_words + (a.rows() * b.cols()) as u64) / g + bcast_words,
+            );
+        }
+        matmul(a, Trans::N, b, Trans::N)
+    } else {
+        carma(m, group, a, b, v_mem)
+    }
+}
+
+/// `Aᵀ·B` where `A` (`m×k₁`) and `B` (`m×k₂`) are row-spread over the
+/// same group: each processor multiplies its row slices and the
+/// `k₁×k₂` partials are all-reduced.
+pub fn tmul_reduce(m: &Machine, group: &Grid, a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.rows(), b.rows(), "tmul_reduce: row counts disagree");
+    let g = group.len() as u64;
+    let out_words = (a.cols() * b.cols()) as u64;
+    for &pid in group.procs() {
+        m.charge_flops(
+            pid,
+            ca_dla::costs::gemm_flops(a.cols(), a.rows(), b.cols()) / g.max(1),
+        );
+        m.charge_vert(pid, (a.len() + b.len()) as u64 / g.max(1) + out_words);
+    }
+    coll::allreduce(m, group, out_words);
+    matmul(a, Trans::T, b, Trans::N)
+}
+
+/// Multiply with *resident* operands: both inputs already live evenly
+/// spread on `group` (e.g. inside a bulge chase, where the window gather
+/// paid for residency — Lemma IV.3's "each processor subset can obtain
+/// the submatrix … with O(b²/p̂) horizontal communication"). Charges the
+/// Lemma III.2 cost *without* the operand-movement term:
+/// `W = O(v^{1/3}·(mnk/g)^{2/3} + output/g)` per processor, plus the
+/// usual flops and vertical traffic.
+pub fn resident_mm(
+    m: &Machine,
+    group: &Grid,
+    a: &Matrix,
+    ta: Trans,
+    b: &Matrix,
+    tb: Trans,
+    v: usize,
+) -> Matrix {
+    let (mm, kk) = match ta {
+        Trans::N => (a.rows(), a.cols()),
+        Trans::T => (a.cols(), a.rows()),
+    };
+    let nn = match tb {
+        Trans::N => b.cols(),
+        Trans::T => b.rows(),
+    };
+    let g = group.len() as u64;
+    let mnk = (mm * kk * nn) as u64;
+    let reduce_term = ((v.max(1) as f64).cbrt() * ((mnk / g.max(1)) as f64).powf(2.0 / 3.0)) as u64;
+    let out_words = (mm * nn) as u64;
+    for &pid in group.procs() {
+        m.charge_flops(pid, 2 * mnk / g.max(1));
+        // Only the inner-dimension reduction crosses processors:
+        // operands are resident and outputs land distributed where they
+        // are produced (owner-computes).
+        m.charge_comm(pid, reduce_term);
+        m.charge_vert(
+            pid,
+            (a.len() as u64 + b.len() as u64 + out_words) / g.max(1),
+        );
+    }
+    m.step(group.procs(), 2);
+    matmul(a, ta, b, tb)
+}
+
+/// A small product computed redundantly (or on rank 0 and broadcast):
+/// for `T`-sized square chains where everything fits on one processor.
+pub fn small_product(
+    m: &Machine,
+    group: &Grid,
+    a: &Matrix,
+    ta: Trans,
+    b: &Matrix,
+    tb: Trans,
+) -> Matrix {
+    let rows = match ta {
+        Trans::N => a.rows(),
+        Trans::T => a.cols(),
+    };
+    let inner = match ta {
+        Trans::N => a.cols(),
+        Trans::T => a.rows(),
+    };
+    let cols = match tb {
+        Trans::N => b.cols(),
+        Trans::T => b.rows(),
+    };
+    m.charge_flops(group.proc(0), ca_dla::costs::gemm_flops(rows, inner, cols));
+    m.charge_vert(group.proc(0), (a.len() + b.len() + rows * cols) as u64);
+    coll::bcast(m, group, 0, (rows * cols) as u64);
+    matmul(a, ta, b, tb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_bsp::MachineParams;
+    use ca_dla::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn machine(p: usize) -> Machine {
+        Machine::new(MachineParams::new(p))
+    }
+
+    #[test]
+    fn rmul_small_matches_sequential() {
+        let m = machine(4);
+        let g = Grid::all(4);
+        let mut rng = StdRng::seed_from_u64(250);
+        let a = gen::random_matrix(&mut rng, 24, 6);
+        let b = gen::random_matrix(&mut rng, 6, 6);
+        let c = rmul_small(&m, &g, 1, &a, &b);
+        assert!(c.max_diff(&matmul(&a, Trans::N, &b, Trans::N)) < 1e-12);
+    }
+
+    #[test]
+    fn rmul_small_broadcast_path_is_cheap() {
+        let m = machine(8);
+        let g = Grid::all(8);
+        let a = Matrix::zeros(512, 4);
+        let b = Matrix::zeros(4, 4);
+        let snap = m.snapshot();
+        let _ = rmul_small(&m, &g, 1, &a, &b);
+        m.fence();
+        let w = m.costs_since(&snap).horizontal_words;
+        // Should be ~|B| per processor (broadcast), far below |A|/g.
+        assert!(w < 100, "rmul_small W = {w}");
+    }
+
+    #[test]
+    fn tmul_reduce_matches_sequential() {
+        let m = machine(4);
+        let g = Grid::all(4);
+        let mut rng = StdRng::seed_from_u64(251);
+        let a = gen::random_matrix(&mut rng, 30, 5);
+        let b = gen::random_matrix(&mut rng, 30, 3);
+        let c = tmul_reduce(&m, &g, &a, &b);
+        assert!(c.max_diff(&matmul(&a, Trans::T, &b, Trans::N)) < 1e-12);
+        assert_eq!(c.rows(), 5);
+        assert_eq!(c.cols(), 3);
+    }
+
+    #[test]
+    fn small_product_charges_one_processor() {
+        let m = machine(4);
+        let g = Grid::all(4);
+        let a = Matrix::identity(4);
+        let b = Matrix::identity(4);
+        let _ = small_product(&m, &g, &a, Trans::T, &b, Trans::N);
+        let f = m.flops_per_proc();
+        assert!(f[0] > 0);
+        assert_eq!(f[1] + f[2] + f[3], 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Square QR (Lemma III.5): QR factorization of (nearly) square
+//! matrices on a processor group.
+//!
+//! The paper realizes this lemma with Tiskin's pairwise-elimination QR
+//! \[6\]. We realize the same interface through the column-recursive
+//! rect-QR of [`crate::rect_qr`] (see DESIGN.md §2/§8 for the recorded
+//! substitution): for a square `n × n` input the column recursion with
+//! Lemma III.2 multiplies yields `W = O(n²/pᵟ)`-shaped communication,
+//! `F = O(n³/p)` and `S = O(pᵟ·polylog)` — the cost point Lemma III.5
+//! supplies to Algorithm III.2's base cases.
+
+use crate::dist::DistMatrix;
+use crate::rect_qr::{rect_qr_with_base, PanelQr};
+use ca_bsp::Machine;
+
+/// QR of a (nearly) square matrix `a` (`n ≤ m ≤ 2n`) on its 1D group.
+pub fn square_qr(machine: &Machine, a: &DistMatrix) -> PanelQr {
+    let (m, n) = a.shape();
+    assert!(m >= n && m <= 2 * n, "square_qr expects n ≤ m ≤ 2n, got {m}×{n}");
+    rect_qr_with_base(machine, a, crate::rect_qr::BASE_COLS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid;
+    use ca_bsp::{Machine, MachineParams};
+    use ca_dla::gemm::{matmul, Trans};
+    use ca_dla::gen;
+    use ca_dla::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn square_qr_factorizes() {
+        let g = 4;
+        let m = Machine::new(MachineParams::new(g));
+        let grid = Grid::new_2d((0..g).collect(), g, 1);
+        let mut rng = StdRng::seed_from_u64(150);
+        let a = gen::random_matrix(&mut rng, 40, 32);
+        let da = DistMatrix::from_dense(&m, &grid, &a);
+        let f = square_qr(&m, &da);
+        let u = f.u.assemble_unchecked();
+        let mut stack = Matrix::zeros(40, 32);
+        stack.set_block(0, 0, &f.r);
+        let ut = matmul(&u, Trans::T, &stack, Trans::N);
+        let tut = matmul(&f.t, Trans::N, &ut, Trans::N);
+        let corr = matmul(&u, Trans::N, &tut, Trans::N);
+        stack.axpy(-1.0, &corr);
+        assert!(stack.max_diff(&a) < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects n ≤ m ≤ 2n")]
+    fn rejects_very_tall_inputs() {
+        let m = Machine::new(MachineParams::new(2));
+        let grid = Grid::new_2d(vec![0, 1], 2, 1);
+        let a = Matrix::zeros(100, 10);
+        let da = DistMatrix::from_dense(&m, &grid, &a);
+        let _ = square_qr(&m, &da);
+    }
+}

@@ -1,0 +1,169 @@
+#![allow(clippy::needless_range_loop)]
+//! `eigensolve` — command-line front end to the communication-avoiding
+//! symmetric eigensolver.
+//!
+//! ```text
+//! USAGE:
+//!   eigensolve [OPTIONS]
+//!
+//! OPTIONS:
+//!   --n <N>            matrix dimension (power of two; default 128)
+//!   --p <P>            virtual processors (default 16)
+//!   --c <C>            replication factor (default 1; p/c must be square)
+//!   --input <FILE>     read a dense symmetric matrix (CSV rows) instead
+//!                      of generating one
+//!   --kind <KIND>      generator when no input: spectrum | random |
+//!                      tightbinding | laplacian (default spectrum)
+//!   --seed <SEED>      generator seed (default 42)
+//!   --vectors          also compute eigenvectors (reports residual)
+//!   --json             emit results as JSON on stdout
+//!   --algorithm <A>    2.5d | scalapack | elpa (default 2.5d)
+//! ```
+//!
+//! Prints the eigenvalues and the machine's F/W/Q/S cost record.
+
+use ca_symm_eig::bsp::{Machine, MachineParams};
+use ca_symm_eig::dla::gemm::{matmul, Trans};
+use ca_symm_eig::dla::{gen, Matrix};
+use ca_symm_eig::eigen::baselines::{elpa_two_stage, scalapack::scalapack_eigenvalues};
+use ca_symm_eig::eigen::{symm_eigen_25d, symm_eigen_25d_vectors, EigenParams};
+use ca_symm_eig::pla::grid::Grid;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arg(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+fn main() {
+    let n: usize = arg("--n").map(|v| v.parse().expect("--n")).unwrap_or(128);
+    let p: usize = arg("--p").map(|v| v.parse().expect("--p")).unwrap_or(16);
+    let c: usize = arg("--c").map(|v| v.parse().expect("--c")).unwrap_or(1);
+    let seed: u64 = arg("--seed").map(|v| v.parse().expect("--seed")).unwrap_or(42);
+    let kind = arg("--kind").unwrap_or_else(|| "spectrum".into());
+    let algorithm = arg("--algorithm").unwrap_or_else(|| "2.5d".into());
+    let want_vectors = flag("--vectors");
+    let json = flag("--json");
+
+    // Build or load the matrix.
+    let a: Matrix = if let Some(path) = arg("--input") {
+        load_csv(&path)
+    } else {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match kind.as_str() {
+            "spectrum" => {
+                gen::symmetric_with_spectrum(&mut rng, &gen::linspace_spectrum(n, -5.0, 5.0))
+            }
+            "random" => gen::random_symmetric(&mut rng, n),
+            "tightbinding" => gen::tight_binding_ring(&mut rng, n, 1.0, 2.0),
+            "laplacian" => {
+                let side = (n as f64).sqrt().round() as usize;
+                gen::laplacian_2d(side, n / side.max(1))
+            }
+            other => {
+                eprintln!("unknown --kind {other}");
+                std::process::exit(2);
+            }
+        }
+    };
+    let n = a.rows();
+
+    let machine = Machine::new(MachineParams::new(p));
+    let mut residual = None;
+    let eigenvalues = match algorithm.as_str() {
+        "2.5d" => {
+            let params = EigenParams::new(p, c);
+            if want_vectors {
+                let (ev, v, _) = symm_eigen_25d_vectors(&machine, &params, &a);
+                // Residual ‖A·V − V·Λ‖_max.
+                let av = matmul(&a, Trans::N, &v, Trans::N);
+                let mut vl = v.clone();
+                for i in 0..n {
+                    for j in 0..n {
+                        vl.set(i, j, v.get(i, j) * ev[j]);
+                    }
+                }
+                residual = Some(av.max_diff(&vl));
+                ev
+            } else {
+                symm_eigen_25d(&machine, &params, &a).0
+            }
+        }
+        "scalapack" => scalapack_eigenvalues(&machine, &Grid::all(p).squarest_2d(), &a),
+        "elpa" => elpa_two_stage(&machine, p, &a),
+        other => {
+            eprintln!("unknown --algorithm {other}");
+            std::process::exit(2);
+        }
+    };
+
+    let costs = machine.report();
+    if json {
+        let evs: Vec<String> = eigenvalues.iter().map(|v| format!("{v}")).collect();
+        println!(
+            "{{\"n\":{n},\"p\":{p},\"c\":{c},\"algorithm\":\"{algorithm}\",\"eigenvalues\":[{}],\
+             \"flops\":{},\"horizontal_words\":{},\"vertical_words\":{},\"supersteps\":{}{}}}",
+            evs.join(","),
+            costs.flops,
+            costs.horizontal_words,
+            costs.vertical_words,
+            costs.supersteps,
+            residual.map(|r| format!(",\"residual\":{r}")).unwrap_or_default()
+        );
+    } else {
+        println!("eigensolve: n = {n}, p = {p}, c = {c}, algorithm = {algorithm}");
+        println!(
+            "costs: F = {}, W = {}, Q = {}, S = {}, peak M = {}",
+            costs.flops,
+            costs.horizontal_words,
+            costs.vertical_words,
+            costs.supersteps,
+            costs.peak_memory_words
+        );
+        if let Some(r) = residual {
+            println!("eigenvector residual ‖A·V − V·Λ‖_max = {r:.3e}");
+        }
+        println!("eigenvalues (ascending):");
+        for chunk in eigenvalues.chunks(8) {
+            let line: Vec<String> = chunk.iter().map(|v| format!("{v:>12.6}")).collect();
+            println!("  {}", line.join(" "));
+        }
+    }
+}
+
+fn load_csv(path: &str) -> Matrix {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let rows: Vec<Vec<f64>> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| {
+            l.split(',')
+                .map(|tok| tok.trim().parse::<f64>().expect("CSV entry"))
+                .collect()
+        })
+        .collect();
+    let n = rows.len();
+    assert!(n > 0, "empty matrix");
+    assert!(rows.iter().all(|r| r.len() == n), "matrix must be square");
+    let mut a = Matrix::zeros(n, n);
+    for (i, r) in rows.iter().enumerate() {
+        for (j, v) in r.iter().enumerate() {
+            a.set(i, j, *v);
+        }
+    }
+    assert!(
+        a.asymmetry() < 1e-8 * a.norm_max().max(1.0),
+        "input matrix must be symmetric"
+    );
+    a
+}

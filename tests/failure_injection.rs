@@ -1,0 +1,118 @@
+#![allow(clippy::needless_range_loop)]
+//! Failure injection: the guard rails must fire on misuse — wrong
+//! shapes, out-of-regime parameters, asymmetric inputs, capacity
+//! violations — rather than silently producing wrong costs or numbers.
+
+use ca_symm_eig::bsp::{Machine, MachineParams};
+use ca_symm_eig::dla::{BandedSym, Matrix};
+use ca_symm_eig::eigen::EigenParams;
+use ca_symm_eig::pla::dist::DistMatrix;
+use ca_symm_eig::pla::grid::Grid;
+
+fn machine(p: usize) -> Machine {
+    Machine::new(MachineParams::new(p))
+}
+
+#[test]
+#[should_panic(expected = "must be symmetric")]
+fn full_to_band_rejects_asymmetric_input() {
+    let m = machine(4);
+    let a = Matrix::from_fn(16, 16, |i, j| (i * 16 + j) as f64);
+    let _ = ca_symm_eig::eigen::full_to_band(&m, &EigenParams::new(4, 1), &a, 4);
+}
+
+#[test]
+#[should_panic(expected = "must divide n")]
+fn full_to_band_rejects_nondividing_bandwidth() {
+    let m = machine(4);
+    let mut a = Matrix::from_fn(16, 16, |i, j| ((i + j) as f64).sin());
+    a.symmetrize();
+    let _ = ca_symm_eig::eigen::full_to_band(&m, &EigenParams::new(4, 1), &a, 5);
+}
+
+#[test]
+#[should_panic(expected = "k must divide")]
+fn band_to_band_rejects_bad_k() {
+    let m = machine(2);
+    let b = BandedSym::zeros(16, 6, 6);
+    let _ = ca_symm_eig::eigen::band_to_band(&m, &Grid::all(2), &b, 4, 1);
+}
+
+#[test]
+#[should_panic(expected = "regime")]
+fn params_reject_excess_replication() {
+    let _ = EigenParams::new(16, 4); // 4³ = 64 > 16
+}
+
+#[test]
+#[should_panic(expected = "perfect square")]
+fn params_reject_non_square_layer() {
+    let _ = EigenParams::new(24, 2);
+}
+
+#[test]
+#[should_panic(expected = "power-of-two")]
+fn solver_rejects_odd_sizes() {
+    let m = machine(4);
+    let mut a = Matrix::from_fn(24, 24, |i, j| ((i * j) as f64).cos());
+    a.symmetrize();
+    let _ = ca_symm_eig::eigen::symm_eigen_25d(&m, &EigenParams::new(4, 1), &a);
+}
+
+#[test]
+#[should_panic(expected = "inner dimensions")]
+fn carma_rejects_shape_mismatch() {
+    let m = machine(2);
+    let a = Matrix::zeros(4, 5);
+    let b = Matrix::zeros(4, 4);
+    let _ = ca_symm_eig::pla::carma::carma(&m, &Grid::all(2), &a, &b, 1);
+}
+
+#[test]
+#[should_panic(expected = "block out of range")]
+fn dist_matrix_rejects_out_of_range_reads() {
+    let m = machine(4);
+    let g = Grid::new_2d((0..4).collect(), 2, 2);
+    let d = DistMatrix::zeros(&m, &g, 8, 8);
+    let _ = d.read_block(&m, 0, 6, 6, 4, 4);
+}
+
+#[test]
+#[should_panic(expected = "fill analysis violated")]
+fn banded_capacity_violation_is_caught() {
+    let mut b = BandedSym::zeros(10, 2, 3);
+    b.set(9, 0, 1.0);
+}
+
+#[test]
+#[should_panic(expected = "capacity")]
+fn reduce_band_requires_bulge_capacity() {
+    let mut b = BandedSym::zeros(16, 4, 4); // capacity == bandwidth: no bulge room
+    ca_symm_eig::dla::bulge::reduce_band(&mut b, 2);
+}
+
+#[test]
+#[should_panic(expected = "requires m ≥ n")]
+fn rect_qr_rejects_wide_input() {
+    let m = machine(2);
+    let g = Grid::new_2d(vec![0, 1], 2, 1);
+    let a = Matrix::zeros(4, 8);
+    let d = DistMatrix::from_dense(&m, &g, &a);
+    let _ = ca_symm_eig::pla::rect_qr::rect_qr(&m, &d);
+}
+
+#[test]
+fn machine_free_does_not_underflow_in_release() {
+    // Memory tracking saturates rather than wrapping.
+    let m = machine(1);
+    m.alloc(0, 10);
+    m.free(0, 10);
+    assert_eq!(m.report().peak_memory_words, 10);
+}
+
+#[test]
+#[should_panic(expected = "zero pivot")]
+fn lu_rejects_singular_leading_minor() {
+    let a = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 1.0]);
+    let _ = ca_symm_eig::dla::lu::lu_nopivot(&a);
+}
