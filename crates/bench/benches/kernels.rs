@@ -13,7 +13,7 @@ use std::hint::black_box;
 
 fn bench_gemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("gemm");
-    for n in [64usize, 128, 256] {
+    for n in [64usize, 128, 256, 512] {
         let mut rng = StdRng::seed_from_u64(1);
         let a = gen::random_matrix(&mut rng, n, n);
         let b = gen::random_matrix(&mut rng, n, n);

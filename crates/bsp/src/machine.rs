@@ -2,7 +2,8 @@
 
 use crate::costs::{CostSnapshot, Costs};
 use crate::MachineParams;
-use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Mutex;
 
 /// One fenced phase's folded maxima — the per-phase profile behind the
 /// paper's `Σᵢ maxⱼ` sums, recordable for diagnostics (see
@@ -27,10 +28,15 @@ pub type ProcId = usize;
 /// The machine does not store application data itself — distributed
 /// containers (see `ca-pla`) own per-processor buffers and report every
 /// word they move and every flop they execute through the `charge_*`
-/// methods. The machine is deliberately single-threaded (`Cell`-based
-/// interior mutability) so simulations are deterministic; heavy *local*
-/// kernels may still use real shared-memory parallelism internally since
-/// they do not touch the ledger concurrently.
+/// methods. All counters are atomic, so the machine is `Sync` and the
+/// per-virtual-processor loops of a superstep may be executed on real
+/// threads concurrently (see `ca-pla`'s `exec` module). Determinism is
+/// preserved regardless of thread interleaving because every mutation
+/// between fences is a commutative `fetch_add`/`fetch_max`: the
+/// per-processor totals a fold observes are interleaving-independent.
+/// The folds themselves ([`Machine::fence`] / [`Machine::report`]) must
+/// run at quiescent points — after the worker threads of the phase have
+/// been joined — which the executor guarantees by construction.
 ///
 /// ```
 /// use ca_bsp::{Machine, MachineParams};
@@ -58,27 +64,28 @@ pub type ProcId = usize;
 pub struct Machine {
     params: MachineParams,
     /// Cumulative flops per processor.
-    flops: Vec<Cell<u64>>,
+    flops: Vec<AtomicU64>,
     /// Cumulative words sent+received per processor.
-    comm: Vec<Cell<u64>>,
+    comm: Vec<AtomicU64>,
     /// Cumulative vertical (memory<->cache) words per processor.
-    vert: Vec<Cell<u64>>,
+    vert: Vec<AtomicU64>,
     /// Private superstep counter per processor.
-    steps: Vec<Cell<u64>>,
+    steps: Vec<AtomicU64>,
     /// Current allocated words per processor.
-    mem: Vec<Cell<u64>>,
+    mem: Vec<AtomicU64>,
     /// Peak allocated words per processor.
-    peak_mem: Vec<Cell<u64>>,
+    peak_mem: Vec<AtomicU64>,
     /// Per-processor counter values at the last fence (for phase maxima).
-    fence_flops: Vec<Cell<u64>>,
-    fence_comm: Vec<Cell<u64>>,
-    fence_vert: Vec<Cell<u64>>,
-    /// Folded sums of per-phase maxima (the paper's Σᵢ maxⱼ).
-    folded_flops: Cell<u64>,
-    folded_comm: Cell<u64>,
-    folded_vert: Cell<u64>,
+    fence_flops: Vec<AtomicU64>,
+    fence_comm: Vec<AtomicU64>,
+    fence_vert: Vec<AtomicU64>,
+    /// Folded sums of per-phase maxima (the paper's Σᵢ maxⱼ). Only
+    /// touched by `fold`, which runs at quiescent points.
+    folded_flops: AtomicU64,
+    folded_comm: AtomicU64,
+    folded_vert: AtomicU64,
     /// Optional per-phase trace (None until enabled).
-    trace: RefCell<Option<Vec<PhaseRecord>>>,
+    trace: Mutex<Option<Vec<PhaseRecord>>>,
 }
 
 impl Machine {
@@ -86,7 +93,7 @@ impl Machine {
     pub fn new(params: MachineParams) -> Self {
         let p = params.p;
         assert!(p > 0, "machine must have at least one processor");
-        let zeros = || (0..p).map(|_| Cell::new(0u64)).collect::<Vec<_>>();
+        let zeros = || (0..p).map(|_| AtomicU64::new(0)).collect::<Vec<_>>();
         Self {
             params,
             flops: zeros(),
@@ -98,17 +105,17 @@ impl Machine {
             fence_flops: zeros(),
             fence_comm: zeros(),
             fence_vert: zeros(),
-            folded_flops: Cell::new(0),
-            folded_comm: Cell::new(0),
-            folded_vert: Cell::new(0),
-            trace: RefCell::new(None),
+            folded_flops: AtomicU64::new(0),
+            folded_comm: AtomicU64::new(0),
+            folded_vert: AtomicU64::new(0),
+            trace: Mutex::new(None),
         }
     }
 
     /// Start recording a [`PhaseRecord`] at every fold (fence/report).
     /// Used by the timeline diagnostics; has no effect on the costs.
     pub fn enable_phase_trace(&self) {
-        let mut t = self.trace.borrow_mut();
+        let mut t = self.trace.lock().unwrap();
         if t.is_none() {
             *t = Some(Vec::new());
         }
@@ -116,7 +123,7 @@ impl Machine {
 
     /// The recorded phase trace so far (empty if tracing is off).
     pub fn phase_trace(&self) -> Vec<PhaseRecord> {
-        self.trace.borrow().clone().unwrap_or_default()
+        self.trace.lock().unwrap().clone().unwrap_or_default()
     }
 
     /// Number of processors `p`.
@@ -137,16 +144,14 @@ impl Machine {
     /// Charge `f` floating point operations to processor `j`.
     #[inline]
     pub fn charge_flops(&self, j: ProcId, f: u64) {
-        let c = &self.flops[j];
-        c.set(c.get() + f);
+        self.flops[j].fetch_add(f, Relaxed);
     }
 
     /// Charge `w` words of horizontal traffic (sent or received) to
     /// processor `j`.
     #[inline]
     pub fn charge_comm(&self, j: ProcId, w: u64) {
-        let c = &self.comm[j];
-        c.set(c.get() + w);
+        self.comm[j].fetch_add(w, Relaxed);
     }
 
     /// Charge a point-to-point transfer of `w` words: `w` is charged to
@@ -163,24 +168,23 @@ impl Machine {
     /// Charge `q` words of vertical (memory↔cache) traffic to processor `j`.
     #[inline]
     pub fn charge_vert(&self, j: ProcId, q: u64) {
-        let c = &self.vert[j];
-        c.set(c.get() + q);
+        self.vert[j].fetch_add(q, Relaxed);
     }
 
     /// Record an allocation of `words` on processor `j` (memory tracking).
     pub fn alloc(&self, j: ProcId, words: u64) {
-        let m = &self.mem[j];
-        m.set(m.get() + words);
-        if m.get() > self.peak_mem[j].get() {
-            self.peak_mem[j].set(m.get());
-        }
+        let now = self.mem[j].fetch_add(words, Relaxed) + words;
+        self.peak_mem[j].fetch_max(now, Relaxed);
     }
 
     /// Record a deallocation of `words` on processor `j`.
     pub fn free(&self, j: ProcId, words: u64) {
-        let m = &self.mem[j];
-        debug_assert!(m.get() >= words, "freeing more than allocated on {j}");
-        m.set(m.get().saturating_sub(words));
+        let prev = self.mem[j].fetch_sub(words, Relaxed);
+        debug_assert!(prev >= words, "freeing more than allocated on {j}");
+        if prev < words {
+            // Saturate instead of wrapping if a release is over-reported.
+            self.mem[j].store(0, Relaxed);
+        }
     }
 
     /// Advance the superstep counter of every processor in `group` by
@@ -189,18 +193,20 @@ impl Machine {
     /// supersteps, which this per-processor accounting captures.
     pub fn step(&self, group: &[ProcId], count: u64) {
         for &j in group {
-            let s = &self.steps[j];
-            s.set(s.get() + count);
+            self.steps[j].fetch_add(count, Relaxed);
         }
     }
 
     /// Global barrier: fold per-phase maxima of `F`/`W`/`Q` into the
     /// ledger totals and align all superstep counters to `max + 1`.
+    ///
+    /// Must be called from a quiescent point: no concurrent `charge_*`
+    /// calls may be in flight.
     pub fn fence(&self) {
         self.fold();
-        let max = self.steps.iter().map(Cell::get).max().unwrap_or(0);
+        let max = self.steps.iter().map(|s| s.load(Relaxed)).max().unwrap_or(0);
         for s in &self.steps {
-            s.set(max + 1);
+            s.store(max + 1, Relaxed);
         }
     }
 
@@ -212,9 +218,9 @@ impl Machine {
         let mut dmax_q = 0u64;
         let mut active = 0usize;
         for j in 0..self.params.p {
-            let df = self.flops[j].get() - self.fence_flops[j].get();
-            let dw = self.comm[j].get() - self.fence_comm[j].get();
-            let dq = self.vert[j].get() - self.fence_vert[j].get();
+            let df = self.flops[j].load(Relaxed) - self.fence_flops[j].load(Relaxed);
+            let dw = self.comm[j].load(Relaxed) - self.fence_comm[j].load(Relaxed);
+            let dq = self.vert[j].load(Relaxed) - self.fence_vert[j].load(Relaxed);
             if df + dw + dq > 0 {
                 active += 1;
             }
@@ -222,11 +228,11 @@ impl Machine {
             dmax_w = dmax_w.max(dw);
             dmax_q = dmax_q.max(dq);
         }
-        self.folded_flops.set(self.folded_flops.get() + dmax_f);
-        self.folded_comm.set(self.folded_comm.get() + dmax_w);
-        self.folded_vert.set(self.folded_vert.get() + dmax_q);
+        self.folded_flops.fetch_add(dmax_f, Relaxed);
+        self.folded_comm.fetch_add(dmax_w, Relaxed);
+        self.folded_vert.fetch_add(dmax_q, Relaxed);
         if dmax_f + dmax_w + dmax_q > 0 {
-            if let Some(t) = self.trace.borrow_mut().as_mut() {
+            if let Some(t) = self.trace.lock().unwrap().as_mut() {
                 t.push(PhaseRecord {
                     flops: dmax_f,
                     horizontal_words: dmax_w,
@@ -236,24 +242,30 @@ impl Machine {
             }
         }
         for j in 0..self.params.p {
-            self.fence_flops[j].set(self.flops[j].get());
-            self.fence_comm[j].set(self.comm[j].get());
-            self.fence_vert[j].set(self.vert[j].get());
+            self.fence_flops[j].store(self.flops[j].load(Relaxed), Relaxed);
+            self.fence_comm[j].store(self.comm[j].load(Relaxed), Relaxed);
+            self.fence_vert[j].store(self.vert[j].load(Relaxed), Relaxed);
         }
     }
 
     /// Current cost report. Performs a fold (without a barrier) so that
-    /// work since the last fence is included.
+    /// work since the last fence is included. Like [`Machine::fence`],
+    /// call only from quiescent points.
     pub fn report(&self) -> Costs {
         self.fold();
         Costs {
-            flops: self.folded_flops.get(),
-            horizontal_words: self.folded_comm.get(),
-            vertical_words: self.folded_vert.get(),
-            supersteps: self.steps.iter().map(Cell::get).max().unwrap_or(0),
-            peak_memory_words: self.peak_mem.iter().map(Cell::get).max().unwrap_or(0),
-            total_volume_words: self.comm.iter().map(Cell::get).sum(),
-            total_flops: self.flops.iter().map(Cell::get).sum(),
+            flops: self.folded_flops.load(Relaxed),
+            horizontal_words: self.folded_comm.load(Relaxed),
+            vertical_words: self.folded_vert.load(Relaxed),
+            supersteps: self.steps.iter().map(|s| s.load(Relaxed)).max().unwrap_or(0),
+            peak_memory_words: self
+                .peak_mem
+                .iter()
+                .map(|s| s.load(Relaxed))
+                .max()
+                .unwrap_or(0),
+            total_volume_words: self.comm.iter().map(|s| s.load(Relaxed)).sum(),
+            total_flops: self.flops.iter().map(|s| s.load(Relaxed)).sum(),
         }
     }
 
@@ -273,16 +285,71 @@ impl Machine {
     /// Per-processor cumulative horizontal words (diagnostics / load
     /// balance inspection).
     pub fn comm_per_proc(&self) -> Vec<u64> {
-        self.comm.iter().map(Cell::get).collect()
+        self.comm.iter().map(|s| s.load(Relaxed)).collect()
     }
 
     /// Per-processor cumulative flops (diagnostics).
     pub fn flops_per_proc(&self) -> Vec<u64> {
-        self.flops.iter().map(Cell::get).collect()
+        self.flops.iter().map(|s| s.load(Relaxed)).collect()
     }
 
     /// Per-processor current superstep counters (diagnostics).
     pub fn steps_per_proc(&self) -> Vec<u64> {
-        self.steps.iter().map(Cell::get).collect()
+        self.steps.iter().map(|s| s.load(Relaxed)).collect()
+    }
+}
+
+#[cfg(test)]
+mod threading_tests {
+    use super::*;
+
+    const _: fn() = || {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<Machine>();
+    };
+
+    #[test]
+    fn concurrent_charges_total_exactly() {
+        let m = Machine::new(MachineParams::new(8));
+        std::thread::scope(|scope| {
+            for j in 0..8 {
+                let m = &m;
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        m.charge_flops(j, 3);
+                        m.charge_vert(j, 2);
+                        m.charge_comm(j, 1);
+                        m.alloc(j, 5);
+                        m.free(j, 5);
+                    }
+                });
+            }
+        });
+        m.fence();
+        let c = m.report();
+        // Every processor did identical work, so the per-phase max is one
+        // processor's total and the volume is p times that.
+        assert_eq!(c.flops, 3000);
+        assert_eq!(c.vertical_words, 2000);
+        assert_eq!(c.horizontal_words, 1000);
+        assert_eq!(c.total_flops, 8 * 3000);
+        assert_eq!(c.total_volume_words, 8 * 1000);
+        assert_eq!(c.peak_memory_words, 5);
+    }
+
+    #[test]
+    fn contended_single_processor_charges_are_not_lost() {
+        let m = Machine::new(MachineParams::new(2));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let m = &m;
+                scope.spawn(move || {
+                    for _ in 0..2500 {
+                        m.charge_flops(0, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.report().total_flops, 10_000);
     }
 }

@@ -23,6 +23,7 @@ use ca_dla::bulge::{chase_plan, ChaseOp};
 use ca_dla::gemm::Trans;
 use ca_dla::{BandedSym, Matrix};
 use ca_pla::dist::DistMatrix;
+use ca_pla::exec;
 use ca_pla::grid::Grid;
 use ca_pla::kern;
 use ca_pla::ops;
@@ -113,43 +114,108 @@ fn band_to_band_impl(
 
     // Phase-ordered plan (ties by ascending i — the pipeline handoff
     // order, verified bitwise-equivalent to the sequential order in
-    // ca-dla's tests).
+    // ca-dla's tests), chunked into pipeline phases: chases with equal
+    // 2i + j run concurrently on their disjoint groups Π̂ⱼ.
     let mut plan = chase_plan(n, b, k);
     plan.sort_by_key(|op| (op.phase(), op.i));
-
-    let mut current_phase = usize::MAX;
-    let mut last_window: Vec<Option<(usize, usize)>> = vec![None; n_groups];
+    let mut phases: Vec<Vec<ChaseOp>> = Vec::new();
     for op in plan {
-        if op.phase() != current_phase {
-            if current_phase != usize::MAX {
-                machine.fence();
-            }
-            current_phase = op.phase();
+        match phases.last_mut() {
+            Some(cur) if cur[0].phase() == op.phase() => cur.push(op),
+            _ => phases.push(vec![op]),
         }
-        let gidx = (op.j - 1) % n_groups;
-        let group = &groups[gidx];
-        let qr_procs = ((p * h) / n).clamp(1, group.len());
-        trace.chases.push(ChaseRecord {
-            phase: op.phase(),
-            op: op.clone(),
-            group_index: gidx,
-            qr_procs,
-        });
-        let (u, t) = execute_chase_distributed(
-            machine,
-            group,
-            qr_procs,
-            &mut work,
-            &op,
-            v_mem,
-            &mut last_window[gidx],
-        );
-        if let Some(r) = rec.as_deref_mut() {
-            r.push(crate::transforms::Reflectors {
-                row0: op.qr_rows.0,
-                u,
-                t,
+    }
+
+    let mut last_window: Vec<Option<(usize, usize)>> = vec![None; n_groups];
+    for (pi, ops) in phases.into_iter().enumerate() {
+        if pi > 0 {
+            machine.fence();
+        }
+        // Serial prologue: residency charges (stateful per group) and
+        // trace records, in pipeline handoff order.
+        let mut assignments = Vec::with_capacity(ops.len());
+        for op in &ops {
+            let gidx = (op.j - 1) % n_groups;
+            let group = &groups[gidx];
+            let qr_procs = ((p * h) / n).clamp(1, group.len());
+            trace.chases.push(ChaseRecord {
+                phase: op.phase(),
+                op: op.clone(),
+                group_index: gidx,
+                qr_procs,
             });
+            charge_window_residency(machine, group, op, work.capacity(), &mut last_window[gidx]);
+            assignments.push((gidx, qr_procs));
+        }
+
+        // A phase's chases may run on real threads only when their
+        // windows are pairwise disjoint and no group is assigned twice
+        // (groups recycle when n/b > p); otherwise the phase falls back
+        // to in-order execution with identical results.
+        let disjoint = {
+            let mut spans: Vec<(usize, usize, usize)> = ops
+                .iter()
+                .zip(&assignments)
+                .map(|(op, &(gidx, _))| {
+                    let (lo, hi) = op.window();
+                    (lo, hi, gidx)
+                })
+                .collect();
+            spans.sort_unstable();
+            spans
+                .windows(2)
+                .all(|w| w[0].1 <= w[1].0 && w[0].2 != w[1].2)
+        };
+
+        if disjoint {
+            let windows: Vec<Matrix> = ops
+                .iter()
+                .map(|op| {
+                    let (lo, hi) = op.window();
+                    work.window(lo, hi)
+                })
+                .collect();
+            let capacity = work.capacity();
+            let results = exec::par_ranks(ops.len(), |idx| {
+                let (gidx, qr_procs) = assignments[idx];
+                let mut d = windows[idx].clone();
+                let (u, t) = chase_compute(
+                    machine, &groups[gidx], qr_procs, &mut d, &ops[idx], v_mem, capacity,
+                );
+                (d, u, t)
+            });
+            for (op, (d, u, t)) in ops.iter().zip(results) {
+                work.set_window(op.window().0, &d);
+                if let Some(r) = rec.as_deref_mut() {
+                    r.push(crate::transforms::Reflectors {
+                        row0: op.qr_rows.0,
+                        u,
+                        t,
+                    });
+                }
+            }
+        } else {
+            for (op, &(gidx, qr_procs)) in ops.iter().zip(&assignments) {
+                let (lo, hi) = op.window();
+                let mut d = work.window(lo, hi);
+                let (u, t) = chase_compute(
+                    machine,
+                    &groups[gidx],
+                    qr_procs,
+                    &mut d,
+                    op,
+                    v_mem,
+                    work.capacity(),
+                );
+                work.set_window(lo, &d);
+                if let Some(r) = rec.as_deref_mut() {
+                    r.push(crate::transforms::Reflectors {
+                        row0: op.qr_rows.0,
+                        u,
+                        t,
+                    });
+                }
+            }
         }
     }
     machine.fence();
@@ -157,18 +223,48 @@ fn band_to_band_impl(
     (work, trace)
 }
 
-/// One distributed chase: window gather → parallel QR → Lemma III.2
-/// updates → window scatter. Mirrors `ca_dla::bulge::chase_window_update`
-/// with every product and word charged.
+/// Window residency charging (line 2 of Alg IV.2: band blocks live on
+/// their groups): a group's window slides by h between its consecutive
+/// chases, so only the freshly entered columns plus the boundary region
+/// updated by the adjacent group move — O(h·b/p̂) words per processor
+/// per chase, matching Lemma IV.3's per-iteration traffic. Stateful per
+/// group, so it runs in the serial prologue of each phase.
+fn charge_window_residency(
+    machine: &Machine,
+    group: &Grid,
+    op: &ChaseOp,
+    capacity: usize,
+    last_window: &mut Option<(usize, usize)>,
+) {
+    let (lo, hi) = op.window();
+    let h = op.h();
+    let height = (capacity + 1).min(hi - lo);
+    let fresh_cols = match *last_window {
+        Some((plo, phi)) if lo >= plo && lo < phi => (hi.saturating_sub(phi)) + h,
+        _ => hi - lo, // first chase of this group, or a disjoint jump
+    };
+    let win_words = (fresh_cols * height) as u64;
+    *last_window = Some((lo, hi));
+    for &pid in group.procs() {
+        machine.charge_comm(pid, 2 * win_words / group.len() as u64);
+    }
+    machine.step(group.procs(), 1);
+}
+
+/// One chase's compute on its gathered window `d`: parallel QR →
+/// Lemma III.2 updates → boundary handoff. Mirrors
+/// `ca_dla::bulge::chase_window_update` with every product and word
+/// charged. Fold-free (charges and steps only), so same-phase chases on
+/// disjoint groups may run on real threads concurrently.
 #[allow(clippy::too_many_arguments)]
-fn execute_chase_distributed(
+fn chase_compute(
     machine: &Machine,
     group: &Grid,
     qr_procs: usize,
-    work: &mut BandedSym,
+    d: &mut Matrix,
     op: &ChaseOp,
     v_mem: usize,
-    last_window: &mut Option<(usize, usize)>,
+    capacity: usize,
 ) -> (Matrix, Matrix) {
     let (lo, hi) = op.window();
     let nr = op.nr();
@@ -178,24 +274,7 @@ fn execute_chase_distributed(
     let qr_c = op.qr_cols.0 - lo;
     let up_c = op.up_cols.0 - lo;
     let p_hat = group.len() as u64;
-
-    // Window residency (line 2 of Alg IV.2: band blocks live on their
-    // groups): a group's window slides by h between its consecutive
-    // chases, so only the freshly entered columns plus the boundary
-    // region updated by the adjacent group move — O(h·b/p̂) words per
-    // processor per chase, matching Lemma IV.3's per-iteration traffic.
-    let height = (work.capacity() + 1).min(hi - lo);
-    let fresh_cols = match *last_window {
-        Some((plo, phi)) if lo >= plo && lo < phi => (hi.saturating_sub(phi)) + h,
-        _ => hi - lo, // first chase of this group, or a disjoint jump
-    };
-    let win_words = (fresh_cols * height) as u64;
-    *last_window = Some((lo, hi));
-    for &pid in group.procs() {
-        machine.charge_comm(pid, 2 * win_words / p_hat);
-    }
-    machine.step(group.procs(), 1);
-    let mut d = work.window(lo, hi);
+    let height = (capacity + 1).min(hi - lo);
 
     // Line 16: parallel QR of the bulge block. Blocks too small to
     // amortize the distributed machinery (a real implementation's
@@ -273,7 +352,6 @@ fn execute_chase_distributed(
         machine.charge_comm(pid, 2 * boundary_words / p_hat);
     }
     machine.step(group.procs(), 1);
-    work.set_window(lo, &d);
     (u, t)
 }
 

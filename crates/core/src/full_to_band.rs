@@ -24,6 +24,7 @@ use ca_bsp::Machine;
 use ca_dla::{BandedSym, Matrix};
 use ca_pla::carma::carma_spread;
 use ca_pla::dist::DistMatrix;
+use ca_pla::exec;
 use ca_pla::grid::Grid;
 use ca_pla::rect_qr::rect_qr;
 use ca_pla::streaming::streaming_mm_dense;
@@ -120,16 +121,24 @@ fn full_to_band_impl(
             qr_procs: params.panel_qr_procs(n, b),
         });
 
-        // Line 5: update the current panel from the aggregates.
+        // Line 5: update the current panel from the aggregates. The two
+        // products are independent — the executor runs them concurrently
+        // (both only charge commutative ledger entries).
         let mut panel = a.block(o, o, rem, b);
         if m_agg > 0 {
-            let v1_0t = v_agg.block(0, 0, b, m_agg).transpose();
-            let upd1 = streaming_mm_dense(
-                machine, &grid3, &u_agg, (0, 0, rem, m_agg), false, &v1_0t, w_depth,
-            );
-            let u1_0t = u_agg.block(0, 0, b, m_agg).transpose();
-            let upd2 = streaming_mm_dense(
-                machine, &grid3, &v_agg, (0, 0, rem, m_agg), false, &u1_0t, w_depth,
+            let (upd1, upd2) = exec::join(
+                || {
+                    let v1_0t = v_agg.block(0, 0, b, m_agg).transpose();
+                    streaming_mm_dense(
+                        machine, &grid3, &u_agg, (0, 0, rem, m_agg), false, &v1_0t, w_depth,
+                    )
+                },
+                || {
+                    let u1_0t = u_agg.block(0, 0, b, m_agg).transpose();
+                    streaming_mm_dense(
+                        machine, &grid3, &v_agg, (0, 0, rem, m_agg), false, &u1_0t, w_depth,
+                    )
+                },
             );
             panel.axpy(1.0, &upd1);
             panel.axpy(1.0, &upd2);
@@ -170,17 +179,25 @@ fn full_to_band_impl(
         if m_agg > 0 {
             let u2_0 = u_agg.block(b, 0, rem - b, m_agg);
             let v2_0 = v_agg.block(b, 0, rem - b, m_agg);
-            let vtu = streaming_mm_dense(
-                machine, &grid3, &v2_0, (0, 0, rem - b, m_agg), true, &u1, w_depth,
-            );
-            let w2 = streaming_mm_dense(
-                machine, &grid3, &u2_0, (0, 0, rem - b, m_agg), false, &vtu, w_depth,
-            );
-            let utu = streaming_mm_dense(
-                machine, &grid3, &u2_0, (0, 0, rem - b, m_agg), true, &u1, w_depth,
-            );
-            let w3 = streaming_mm_dense(
-                machine, &grid3, &v2_0, (0, 0, rem - b, m_agg), false, &utu, w_depth,
+            // The U₂⁽⁰⁾(V₂⁽⁰⁾ᵀU₁) and V₂⁽⁰⁾(U₂⁽⁰⁾ᵀU₁) chains are
+            // independent of each other — run them concurrently.
+            let (w2, w3) = exec::join(
+                || {
+                    let vtu = streaming_mm_dense(
+                        machine, &grid3, &v2_0, (0, 0, rem - b, m_agg), true, &u1, w_depth,
+                    );
+                    streaming_mm_dense(
+                        machine, &grid3, &u2_0, (0, 0, rem - b, m_agg), false, &vtu, w_depth,
+                    )
+                },
+                || {
+                    let utu = streaming_mm_dense(
+                        machine, &grid3, &u2_0, (0, 0, rem - b, m_agg), true, &u1, w_depth,
+                    );
+                    streaming_mm_dense(
+                        machine, &grid3, &v2_0, (0, 0, rem - b, m_agg), false, &utu, w_depth,
+                    )
+                },
             );
             w.axpy(1.0, &w2);
             w.axpy(1.0, &w3);
@@ -234,10 +251,16 @@ fn full_to_band_impl(
     let m_agg = u_agg.cols();
     let mut last = a.block(o, o, rem, rem);
     if m_agg > 0 {
-        let vt = v_agg.transpose();
-        let upd1 = streaming_mm_dense(machine, &grid3, &u_agg, (0, 0, rem, m_agg), false, &vt, w_depth);
-        let ut = u_agg.transpose();
-        let upd2 = streaming_mm_dense(machine, &grid3, &v_agg, (0, 0, rem, m_agg), false, &ut, w_depth);
+        let (upd1, upd2) = exec::join(
+            || {
+                let vt = v_agg.transpose();
+                streaming_mm_dense(machine, &grid3, &u_agg, (0, 0, rem, m_agg), false, &vt, w_depth)
+            },
+            || {
+                let ut = u_agg.transpose();
+                streaming_mm_dense(machine, &grid3, &v_agg, (0, 0, rem, m_agg), false, &ut, w_depth)
+            },
+        );
         last.axpy(1.0, &upd1);
         last.axpy(1.0, &upd2);
         for &pid in all.procs() {

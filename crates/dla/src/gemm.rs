@@ -1,15 +1,26 @@
 //! General matrix multiplication, `C ← α·op(A)·op(B) + β·C`.
 //!
-//! The kernel uses an `i-l-j` loop order over row-major data (unit-stride
-//! innermost accumulation, auto-vectorizable) and parallelizes over row
-//! blocks of `C` with rayon when the output is large enough to amortize
-//! task spawning. Transposed operands are materialized once — operand
-//! shapes in this code base are panels, so the copy is cheap relative to
-//! the multiply.
+//! The kernel is a three-level cache-blocked (BLIS-style) GEMM over
+//! row-major data:
+//!
+//! * the `n` dimension is split into `NC`-wide panels and the `k`
+//!   dimension into `KC`-deep panels; each `KC × NC` panel of `op(B)` is
+//!   **packed** once into an `NR`-strip buffer sized for the L2/L3 cache,
+//! * the `m` dimension is split into `MC`-tall blocks; each `MC × KC`
+//!   block of `op(A)` is packed into an `MR`-strip buffer sized for the
+//!   L1 cache,
+//! * an `MR × NR` register micro-kernel accumulates over the packed
+//!   strips with unit stride and independent accumulators.
+//!
+//! Transposed operands are handled by the packing routines (the gather
+//! happens once per panel), never by materializing `op(A)`/`op(B)`.
+//! Row blocks of `C` are distributed over rayon threads — distinct `MC`
+//! slabs write disjoint output rows. Small products skip the blocking
+//! machinery entirely and use a fused `i-l-j` loop.
 
 use crate::matrix::Matrix;
 use rayon::prelude::*;
-use std::borrow::Cow;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Operand orientation for [`gemm`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,23 +31,45 @@ pub enum Trans {
     T,
 }
 
-/// Row count threshold above which the kernel parallelizes over rows.
+/// Micro-kernel register tile height (rows of `C`).
+const MR: usize = 4;
+/// Micro-kernel register tile width (columns of `C`).
+const NR: usize = 8;
+/// Rows of `op(A)` packed per macro-block (L2-resident: `MC·KC` doubles).
+const MC: usize = 64;
+/// Inner-dimension depth per packed panel.
+const KC: usize = 256;
+/// Columns of `op(B)` packed per panel (L3-resident: `KC·NC` doubles).
+const NC: usize = 2048;
+
+/// Flop threshold (2mnk) below which the blocked path is not worth its
+/// packing overhead and a fused loop is used instead.
+const SMALL_FLOPS: usize = 1 << 17;
+
+/// Row count threshold above which the small kernel parallelizes.
 const PAR_ROWS: usize = 128;
+
+static BLOCKED_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Enable or disable the blocked path at runtime, routing every product
+/// through the fused unblocked loop instead — the benchmark hook for
+/// before/after comparisons (see `ca-bench`'s `bench_pr1`).
+pub fn set_blocked_enabled(on: bool) {
+    BLOCKED_ENABLED.store(on, Ordering::Relaxed);
+}
 
 /// `C ← α·op(A)·op(B) + β·C`.
 ///
 /// Panics if the operand shapes are inconsistent with `C`.
 pub fn gemm(alpha: f64, a: &Matrix, ta: Trans, b: &Matrix, tb: Trans, beta: f64, c: &mut Matrix) {
-    let a_eff: Cow<Matrix> = match ta {
-        Trans::N => Cow::Borrowed(a),
-        Trans::T => Cow::Owned(a.transpose()),
+    let (m, k) = match ta {
+        Trans::N => (a.rows(), a.cols()),
+        Trans::T => (a.cols(), a.rows()),
     };
-    let b_eff: Cow<Matrix> = match tb {
-        Trans::N => Cow::Borrowed(b),
-        Trans::T => Cow::Owned(b.transpose()),
+    let (k2, n) = match tb {
+        Trans::N => (b.rows(), b.cols()),
+        Trans::T => (b.cols(), b.rows()),
     };
-    let (m, k) = (a_eff.rows(), a_eff.cols());
-    let (k2, n) = (b_eff.rows(), b_eff.cols());
     assert_eq!(k, k2, "gemm: inner dimensions disagree");
     assert_eq!(c.rows(), m, "gemm: output row count disagrees");
     assert_eq!(c.cols(), n, "gemm: output column count disagrees");
@@ -44,40 +77,211 @@ pub fn gemm(alpha: f64, a: &Matrix, ta: Trans, b: &Matrix, tb: Trans, beta: f64,
         return;
     }
 
-    let a_data = a_eff.data();
-    let b_data = b_eff.data();
-    let body = |i: usize, c_row: &mut [f64]| {
+    scale(beta, c);
+    if alpha == 0.0 || k == 0 {
+        return;
+    }
+
+    if 2 * m * n * k < SMALL_FLOPS || !BLOCKED_ENABLED.load(Ordering::Relaxed) {
+        gemm_small(alpha, a, ta, b, tb, c);
+    } else {
+        gemm_blocked(alpha, a, ta, b, tb, c);
+    }
+}
+
+/// `C ← β·C`, parallel over rows when large.
+fn scale(beta: f64, c: &mut Matrix) {
+    if beta == 1.0 {
+        return;
+    }
+    let n = c.cols().max(1);
+    let body = |row: &mut [f64]| {
         if beta == 0.0 {
-            c_row.fill(0.0);
-        } else if beta != 1.0 {
-            for v in c_row.iter_mut() {
+            row.fill(0.0);
+        } else {
+            for v in row.iter_mut() {
                 *v *= beta;
             }
         }
-        if k == 0 {
-            return;
+    };
+    if c.rows() >= PAR_ROWS {
+        c.data_mut().par_chunks_mut(n).for_each(body);
+    } else {
+        c.data_mut().chunks_mut(n).for_each(body);
+    }
+}
+
+/// Element `op(A)[i][l]` resolver data: (data, leading dim, transposed).
+struct Operand<'a> {
+    data: &'a [f64],
+    ld: usize,
+    t: bool,
+}
+
+impl<'a> Operand<'a> {
+    fn new(mat: &'a Matrix, tr: Trans) -> Self {
+        Self {
+            data: mat.data(),
+            ld: mat.cols(),
+            t: matches!(tr, Trans::T),
         }
-        let a_row = &a_data[i * k..(i + 1) * k];
-        for (l, &ail) in a_row.iter().enumerate() {
-            let f = alpha * ail;
+    }
+
+    #[inline(always)]
+    fn get(&self, i: usize, j: usize) -> f64 {
+        if self.t {
+            self.data[j * self.ld + i]
+        } else {
+            self.data[i * self.ld + j]
+        }
+    }
+}
+
+/// Fused `i-l-j` kernel for small products (`C` pre-scaled by β):
+/// unit-stride accumulation over `C` rows, operand transposes read in
+/// place.
+fn gemm_small(alpha: f64, a: &Matrix, ta: Trans, b: &Matrix, tb: Trans, c: &mut Matrix) {
+    let n = c.cols();
+    let k = match ta {
+        Trans::N => a.cols(),
+        Trans::T => a.rows(),
+    };
+    let av = Operand::new(a, ta);
+    let bv = Operand::new(b, tb);
+    for (i, c_row) in c.data_mut().chunks_mut(n).enumerate() {
+        for l in 0..k {
+            let f = alpha * av.get(i, l);
             if f == 0.0 {
                 continue;
             }
-            let b_row = &b_data[l * n..(l + 1) * n];
-            for (cv, bv) in c_row.iter_mut().zip(b_row) {
-                *cv += f * bv;
+            if bv.t {
+                for (j, cv) in c_row.iter_mut().enumerate() {
+                    *cv += f * bv.data[j * bv.ld + l];
+                }
+            } else {
+                let b_row = &bv.data[l * bv.ld..l * bv.ld + n];
+                for (cv, &bb) in c_row.iter_mut().zip(b_row) {
+                    *cv += f * bb;
+                }
             }
         }
-    };
+    }
+}
 
-    if m >= PAR_ROWS {
-        c.data_mut()
-            .par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(i, row)| body(i, row));
-    } else {
-        for (i, row) in c.data_mut().chunks_mut(n).enumerate() {
-            body(i, row);
+/// Pack the `kb × nb` panel of `op(B)` starting at `(pc, jc)` into
+/// `NR`-wide column strips: strip `t` holds `kb` rows of `NR` contiguous
+/// values (zero-padded past `nb`).
+fn pack_b(buf: &mut [f64], bv: &Operand, pc: usize, jc: usize, kb: usize, nb: usize) {
+    let strips = nb.div_ceil(NR);
+    for t in 0..strips {
+        let j0 = jc + t * NR;
+        let nr_eff = NR.min(jc + nb - j0);
+        let strip = &mut buf[t * kb * NR..(t + 1) * kb * NR];
+        for (l, row) in strip.chunks_exact_mut(NR).enumerate() {
+            for (cc, slot) in row.iter_mut().enumerate() {
+                *slot = if cc < nr_eff {
+                    bv.get(pc + l, j0 + cc)
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// Pack the `mb × kb` block of `op(A)` starting at `(i0, pc)` into
+/// `MR`-tall row strips: strip `s` holds `kb` columns of `MR` contiguous
+/// values (zero-padded past `mb`).
+fn pack_a(buf: &mut [f64], av: &Operand, i0: usize, pc: usize, mb: usize, kb: usize) {
+    let strips = mb.div_ceil(MR);
+    for s in 0..strips {
+        let r0 = i0 + s * MR;
+        let mr_eff = MR.min(i0 + mb - r0);
+        let strip = &mut buf[s * kb * MR..(s + 1) * kb * MR];
+        for (l, col) in strip.chunks_exact_mut(MR).enumerate() {
+            for (rr, slot) in col.iter_mut().enumerate() {
+                *slot = if rr < mr_eff {
+                    av.get(r0 + rr, pc + l)
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// The `MR × NR` register micro-kernel: `acc += Ap·Bp` over `kb` packed
+/// steps. The fixed-size array refs let the compiler keep the whole
+/// accumulator tile in registers with no bounds checks.
+#[inline(always)]
+fn micro_kernel(kb: usize, pa: &[f64], pb: &[f64], acc: &mut [[f64; NR]; MR]) {
+    for (avec, bvec) in pa.chunks_exact(MR).zip(pb.chunks_exact(NR)).take(kb) {
+        let avec: &[f64; MR] = avec.try_into().unwrap();
+        let bvec: &[f64; NR] = bvec.try_into().unwrap();
+        for r in 0..MR {
+            let ar = avec[r];
+            for cc in 0..NR {
+                acc[r][cc] += ar * bvec[cc];
+            }
+        }
+    }
+}
+
+/// The three-level blocked path (`C` pre-scaled by β).
+fn gemm_blocked(alpha: f64, a: &Matrix, ta: Trans, b: &Matrix, tb: Trans, c: &mut Matrix) {
+    let (m, n) = (c.rows(), c.cols());
+    let k = match ta {
+        Trans::N => a.cols(),
+        Trans::T => a.rows(),
+    };
+    let av = Operand::new(a, ta);
+    let bv = Operand::new(b, tb);
+
+    let kc = KC.min(k);
+    let nb_max = NC.min(n).div_ceil(NR) * NR;
+    let mut bpack = vec![0.0f64; kc * nb_max];
+
+    for jc in (0..n).step_by(NC) {
+        let nb = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kb = KC.min(k - pc);
+            pack_b(&mut bpack, &bv, pc, jc, kb, nb);
+            let bpack = &bpack;
+            let av = &av;
+
+            // Each MC-row slab of C is owned by exactly one task.
+            let do_slab = |blk: usize, slab: &mut [f64]| {
+                let i0 = blk * MC;
+                let mb = slab.len() / n;
+                let mut apack = vec![0.0f64; mb.div_ceil(MR) * MR * kb];
+                pack_a(&mut apack, av, i0, pc, mb, kb);
+                for s in 0..mb.div_ceil(MR) {
+                    let mr_eff = MR.min(mb - s * MR);
+                    let pa = &apack[s * kb * MR..(s + 1) * kb * MR];
+                    for t in 0..nb.div_ceil(NR) {
+                        let nr_eff = NR.min(nb - t * NR);
+                        let pb = &bpack[t * kb * NR..(t + 1) * kb * NR];
+                        let mut acc = [[0.0f64; NR]; MR];
+                        micro_kernel(kb, pa, pb, &mut acc);
+                        let col0 = jc + t * NR;
+                        for r in 0..mr_eff {
+                            let row = &mut slab[(s * MR + r) * n + col0..][..nr_eff];
+                            for (cv, &x) in row.iter_mut().zip(&acc[r][..nr_eff]) {
+                                *cv += alpha * x;
+                            }
+                        }
+                    }
+                }
+            };
+
+            if m > MC {
+                c.data_mut()
+                    .par_chunks_mut(MC * n)
+                    .enumerate()
+                    .for_each(|(blk, slab)| do_slab(blk, slab));
+            } else {
+                do_slab(0, c.data_mut());
+            }
         }
     }
 }
@@ -98,19 +302,41 @@ pub fn matmul(a: &Matrix, ta: Trans, b: &Matrix, tb: Trans) -> Matrix {
 }
 
 /// Dense symmetric matrix–vector product `y = A·x` (used by the
-/// ScaLAPACK-style baseline's per-column trailing updates).
+/// ScaLAPACK-style baseline's per-column trailing updates). Each row's
+/// dot product runs over slices with four independent accumulators;
+/// rows are distributed over rayon threads when large.
 pub fn symv(a: &Matrix, x: &[f64]) -> Vec<f64> {
     assert_eq!(a.rows(), a.cols());
     assert_eq!(a.rows(), x.len());
     let n = x.len();
-    let mut y = vec![0.0; n];
-    for i in 0..n {
-        let row = a.row(i);
-        let mut acc = 0.0;
-        for j in 0..n {
-            acc += row[j] * x[j];
+    let data = a.data();
+    let dot_row = |i: usize| -> f64 {
+        let row = &data[i * n..(i + 1) * n];
+        let mut acc = [0.0f64; 4];
+        for (r4, x4) in row.chunks_exact(4).zip(x.chunks_exact(4)) {
+            acc[0] += r4[0] * x4[0];
+            acc[1] += r4[1] * x4[1];
+            acc[2] += r4[2] * x4[2];
+            acc[3] += r4[3] * x4[3];
         }
-        y[i] = acc;
+        let tail = row
+            .chunks_exact(4)
+            .remainder()
+            .iter()
+            .zip(x.chunks_exact(4).remainder())
+            .map(|(&r, &xx)| r * xx)
+            .sum::<f64>();
+        (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+    };
+    let mut y = vec![0.0; n];
+    if n >= PAR_ROWS {
+        y.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, yi)| *yi = dot_row(i));
+    } else {
+        for (i, yi) in y.iter_mut().enumerate() {
+            *yi = dot_row(i);
+        }
     }
     y
 }
@@ -178,6 +404,70 @@ mod tests {
     }
 
     #[test]
+    fn blocked_path_matches_naive_all_orientations() {
+        // Odd sizes exercise every packing edge (partial MR/NR strips,
+        // partial KC panel) and cross the blocked-path threshold.
+        let (m, k, n) = (131, 67, 93);
+        let gen_a = |r: usize, c: usize| {
+            Matrix::from_fn(r, c, |i, j| ((i * 37 + j * 11) % 19) as f64 * 0.25 - 2.0)
+        };
+        let gen_b = |r: usize, c: usize| {
+            Matrix::from_fn(r, c, |i, j| ((i * 13 + j * 29) % 23) as f64 * 0.125 - 1.0)
+        };
+        for (ta, tb) in [
+            (Trans::N, Trans::N),
+            (Trans::N, Trans::T),
+            (Trans::T, Trans::N),
+            (Trans::T, Trans::T),
+        ] {
+            let a = match ta {
+                Trans::N => gen_a(m, k),
+                Trans::T => gen_a(k, m),
+            };
+            let b = match tb {
+                Trans::N => gen_b(k, n),
+                Trans::T => gen_b(n, k),
+            };
+            let a_eff = match ta {
+                Trans::N => a.clone(),
+                Trans::T => a.transpose(),
+            };
+            let b_eff = match tb {
+                Trans::N => b.clone(),
+                Trans::T => b.transpose(),
+            };
+            let want = naive(&a_eff, &b_eff);
+            let got = matmul(&a, ta, &b, tb);
+            assert!(
+                got.max_diff(&want) < 1e-10,
+                "ta={ta:?} tb={tb:?}: {}",
+                got.max_diff(&want)
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_path_alpha_beta() {
+        let a = Matrix::from_fn(150, 80, |i, j| ((i + 2 * j) % 7) as f64 - 3.0);
+        let b = Matrix::from_fn(80, 120, |i, j| ((3 * i + j) % 5) as f64 - 2.0);
+        let c0 = Matrix::from_fn(150, 120, |i, j| ((i * j) % 11) as f64 * 0.5);
+        let mut c = c0.clone();
+        gemm(-1.5, &a, Trans::N, &b, Trans::N, 0.25, &mut c);
+        let mut want = c0;
+        want.scale(0.25);
+        want.axpy(-1.5, &naive(&a, &b));
+        assert!(c.max_diff(&want) < 1e-10);
+    }
+
+    #[test]
+    fn deep_inner_dimension_multiple_kc_panels() {
+        // k > KC exercises the pc-loop accumulation across packed panels.
+        let a = Matrix::from_fn(40, 600, |i, j| ((i * 3 + j) % 9) as f64 * 0.1 - 0.4);
+        let b = Matrix::from_fn(600, 35, |i, j| ((i + j * 5) % 8) as f64 * 0.2 - 0.7);
+        assert!(matmul(&a, Trans::N, &b, Trans::N).max_diff(&naive(&a, &b)) < 1e-9);
+    }
+
+    #[test]
     fn symv_matches_gemm() {
         let mut a = Matrix::from_fn(6, 6, |i, j| ((i * 6 + j) as f64).cos());
         a.symmetrize();
@@ -187,6 +477,20 @@ mod tests {
         let got = symv(&a, &x);
         for i in 0..6 {
             assert!((got[i] - want.get(i, 0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn symv_large_parallel_path() {
+        let n = 200;
+        let mut a = Matrix::from_fn(n, n, |i, j| ((i * 7 + j * 3) % 17) as f64 * 0.1 - 0.8);
+        a.symmetrize();
+        let x: Vec<f64> = (0..n).map(|i| ((i % 9) as f64) - 4.0).collect();
+        let xm = Matrix::from_vec(n, 1, x.clone());
+        let want = matmul(&a, Trans::N, &xm, Trans::N);
+        let got = symv(&a, &x);
+        for i in 0..n {
+            assert!((got[i] - want.get(i, 0)).abs() < 1e-9);
         }
     }
 

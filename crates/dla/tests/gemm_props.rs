@@ -1,0 +1,108 @@
+//! Property tests for the cache-blocked GEMM: for arbitrary shapes,
+//! orientations and α/β, the blocked/packed kernel must agree with a
+//! straightforward triple-loop reference. Shapes are drawn on both
+//! sides of the small-product threshold so the fused small kernel, the
+//! packing edge cases (partial MR/NR strips), and the multi-panel KC
+//! accumulation are all exercised.
+
+use ca_dla::gemm::{gemm, Trans};
+use ca_dla::Matrix;
+use proptest::prelude::*;
+
+/// Triple-loop reference: `β·C + α·op(A)·op(B)`.
+fn reference(
+    alpha: f64,
+    a: &Matrix,
+    ta: Trans,
+    b: &Matrix,
+    tb: Trans,
+    beta: f64,
+    c0: &Matrix,
+) -> Matrix {
+    let a_eff = match ta {
+        Trans::N => a.clone(),
+        Trans::T => a.transpose(),
+    };
+    let b_eff = match tb {
+        Trans::N => b.clone(),
+        Trans::T => b.transpose(),
+    };
+    let (m, k, n) = (a_eff.rows(), a_eff.cols(), b_eff.cols());
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut s = 0.0;
+            for l in 0..k {
+                s += a_eff.get(i, l) * b_eff.get(l, j);
+            }
+            c.set(i, j, beta * c0.get(i, j) + alpha * s);
+        }
+    }
+    c
+}
+
+fn trans_strategy() -> impl Strategy<Value = Trans> {
+    (0usize..=1).prop_map(|t| if t == 0 { Trans::N } else { Trans::T })
+}
+
+fn fill(rows: usize, cols: usize, vals: Vec<f64>) -> Matrix {
+    Matrix::from_fn(rows, cols, |i, j| vals[(i * cols + j) % vals.len()])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn blocked_gemm_matches_reference(
+        dims in (1usize..=160, 1usize..=96, 1usize..=160),
+        ta in trans_strategy(),
+        tb in trans_strategy(),
+        coeffs in (-2.0f64..2.0, -2.0f64..2.0),
+        vals in proptest::collection::vec(-1.0f64..1.0, 17usize..=64),
+    ) {
+        let (m, k, n) = dims;
+        let (alpha, beta) = coeffs;
+        let a = match ta {
+            Trans::N => fill(m, k, vals.clone()),
+            Trans::T => fill(k, m, vals.clone()),
+        };
+        let b = match tb {
+            Trans::N => fill(k, n, vals.clone()),
+            Trans::T => fill(n, k, vals.clone()),
+        };
+        let c0 = fill(m, n, vals);
+
+        let mut c = c0.clone();
+        gemm(alpha, &a, ta, &b, tb, beta, &mut c);
+        let want = reference(alpha, &a, ta, &b, tb, beta, &c0);
+
+        let tol = 1e-12 * (k as f64 + 1.0);
+        prop_assert!(
+            c.max_diff(&want) < tol,
+            "m={m} k={k} n={n} ta={ta:?} tb={tb:?} α={alpha} β={beta}: diff {}",
+            c.max_diff(&want)
+        );
+    }
+
+    #[test]
+    fn gemm_distributes_over_scaled_inputs(
+        dims in (8usize..=80, 4usize..=48, 8usize..=80),
+        scale in 0.25f64..4.0,
+        vals in proptest::collection::vec(-1.0f64..1.0, 23usize..=64),
+    ) {
+        // α·(sA)·B == (αs)·A·B — the blocked kernel must be linear in α.
+        let (m, k, n) = dims;
+        let a = fill(m, k, vals.clone());
+        let b = fill(k, n, vals);
+        let mut sa = a.clone();
+        sa.scale(scale);
+
+        let mut c1 = Matrix::zeros(m, n);
+        gemm(1.0, &sa, Trans::N, &b, Trans::N, 0.0, &mut c1);
+        let mut c2 = Matrix::zeros(m, n);
+        gemm(scale, &a, Trans::N, &b, Trans::N, 0.0, &mut c2);
+
+        let tol = 1e-11 * (k as f64 + 1.0);
+        prop_assert!(c1.max_diff(&c2) < tol, "diff {}", c1.max_diff(&c2));
+    }
+}

@@ -112,6 +112,13 @@ impl DistMatrix {
         &mut self.local[r]
     }
 
+    /// All local blocks in grid-rank order — the disjoint per-rank
+    /// slots the parallel executor (`crate::exec`) fans owner-computes
+    /// work over.
+    pub fn locals_mut(&mut self) -> &mut [Matrix] {
+        &mut self.local
+    }
+
     /// Words stored on grid rank `r`.
     pub fn words_on(&self, r: usize) -> u64 {
         self.local[r].len() as u64

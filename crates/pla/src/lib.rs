@@ -16,7 +16,9 @@
 //! * Householder reconstruction, Corollary III.7 ([`reconstruct`]),
 //! * 2D blocked CAQR for (nearly) square matrices ([`square_qr`]),
 //! * rect-QR, Algorithm III.2 / Theorem III.6 ([`rect_qr`]),
-//! * distributed non-pivoted LU and triangular solves ([`lu`]).
+//! * distributed non-pivoted LU and triangular solves ([`lu`]),
+//! * the parallel superstep executor ([`exec`]) — runs independent
+//!   per-virtual-processor work on real threads between fences.
 //!
 //! ## Layout policy
 //!
@@ -36,6 +38,7 @@ pub mod carma;
 pub mod coll;
 pub mod cyclic;
 pub mod dist;
+pub mod exec;
 pub mod grid;
 pub mod kern;
 pub mod lu;

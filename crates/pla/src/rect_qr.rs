@@ -244,12 +244,15 @@ pub fn rect_qr_tree(
     let z_dense = z.assemble_unchecked();
     z.release(machine);
     let mut q_dense = Matrix::zeros(mrows, n);
-    for (i, sub) in groups.iter().enumerate() {
-        let r0 = row_splits[i];
+    // Disjoint chunk groups, fold-free multiplies: run them in parallel
+    // and write the disjoint row slabs back in order.
+    let q_chunks = crate::exec::par_ranks(groups.len(), |i| {
         let w_dense = ws[i].assemble_unchecked();
         let z_i = z_dense.block(i * n, 0, n, n);
-        let q_i = carma::carma_spread(machine, sub, &w_dense, &z_i, 1);
-        q_dense.set_block(r0, 0, &q_i);
+        carma::carma_spread(machine, &groups[i], &w_dense, &z_i, 1)
+    });
+    for (i, q_i) in q_chunks.iter().enumerate() {
+        q_dense.set_block(row_splits[i], 0, q_i);
     }
     for w in ws {
         w.release(machine);

@@ -16,6 +16,7 @@
 
 use crate::coll;
 use crate::dist::DistMatrix;
+use crate::exec;
 use crate::grid::Grid;
 use ca_bsp::Machine;
 use ca_dla::gemm::{gemm, Trans};
@@ -162,10 +163,14 @@ pub fn streaming_mm_dense(
                 };
                 coll::allgather(m, &gather_group, b_jh.len() as u64 / q as u64);
 
-                for idim in 0..q {
+                // Each idim produces a disjoint output row range
+                // [i0, i1): run the charged multiplies concurrently and
+                // accumulate the partial products in rank order.
+                let b_jh = &b_jh;
+                let parts = exec::par_ranks(q, |idim| {
                     let (i0, i1) = (out_splits[idim], out_splits[idim + 1]);
                     if i0 == i1 {
-                        continue;
+                        return None;
                     }
                     // The resident A block for this (i, j): rows/cols of
                     // the submatrix.
@@ -195,9 +200,12 @@ pub fn streaming_mm_dense(
                     };
                     m.charge_vert(pid, vert);
                     let mut part = Matrix::zeros(i1 - i0, kb);
-                    gemm(1.0, &a_blk, ta, &b_jh, Trans::N, 0.0, &mut part);
-                    // Accumulate into the output (the reduce-scatter
-                    // below performs the Σⱼ numerically represented here).
+                    gemm(1.0, &a_blk, ta, b_jh, Trans::N, 0.0, &mut part);
+                    Some((i0, part))
+                });
+                // The reduce-scatter below performs the Σⱼ numerically
+                // represented by this serial in-order accumulation.
+                for (i0, part) in parts.into_iter().flatten() {
                     for rr in 0..part.rows() {
                         for cc in 0..part.cols() {
                             out.add_to(i0 + rr, k0 + cc, part.get(rr, cc));

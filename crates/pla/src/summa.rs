@@ -11,6 +11,7 @@
 
 use crate::coll;
 use crate::dist::DistMatrix;
+use crate::exec;
 use crate::kern;
 use ca_bsp::Machine;
 use ca_dla::gemm::Trans;
@@ -37,16 +38,15 @@ pub fn summa(m: &Machine, alpha: f64, a: &DistMatrix, b: &DistMatrix, beta: f64,
     bounds.sort_unstable();
     bounds.dedup();
 
-    // Scale C once.
+    // Scale C once (every rank's block independently).
     if beta != 1.0 {
-        for r in 0..grid.len() {
-            let loc = c.local_mut(r);
+        exec::par_over(c.locals_mut(), |_, loc| {
             if beta == 0.0 {
                 loc.data_mut().fill(0.0);
             } else {
                 loc.scale(beta);
             }
-        }
+        });
     }
 
     for w in bounds.windows(2) {
@@ -81,8 +81,9 @@ pub fn summa(m: &Machine, alpha: f64, a: &DistMatrix, b: &DistMatrix, beta: f64,
             b_panels.push(piece);
         }
 
-        // Local accumulation on every processor.
-        for r in 0..grid.len() {
+        // Local accumulation on every processor (disjoint output
+        // blocks, so the executor runs the ranks concurrently).
+        exec::par_over(c.locals_mut(), |r, loc| {
             let (i, j, _) = grid.coords(r);
             kern::local_gemm(
                 m,
@@ -93,9 +94,9 @@ pub fn summa(m: &Machine, alpha: f64, a: &DistMatrix, b: &DistMatrix, beta: f64,
                 &b_panels[j],
                 Trans::N,
                 1.0,
-                c.local_mut(r),
+                loc,
             );
-        }
+        });
     }
 }
 

@@ -10,6 +10,7 @@
 
 use crate::coll;
 use crate::dist::DistMatrix;
+use crate::exec;
 use crate::grid::Grid;
 use crate::kern;
 use ca_bsp::Machine;
@@ -55,21 +56,15 @@ pub fn tsqr(m: &Machine, a: &DistMatrix) -> Tsqr {
     let g = group.len();
     let (_rows, n) = a.shape();
 
-    // Leaf factorizations.
-    let mut leaves = Vec::with_capacity(g);
-    let mut current_r: Vec<Matrix> = Vec::with_capacity(g);
-    for rank in 0..g {
-        let f = kern::local_qr(m, group.proc(rank), a.local(rank));
-        current_r.push(f.r.clone());
-        leaves.push(f);
-    }
+    // Leaf factorizations — one independent QR per rank.
+    let leaves = exec::par_ranks(g, |rank| kern::local_qr(m, group.proc(rank), a.local(rank)));
+    let mut current_r: Vec<Matrix> = leaves.iter().map(|f| f.r.clone()).collect();
     m.step(group.procs(), 1);
 
     // Binary reduction tree.
     let mut levels = Vec::new();
     let mut stride = 1;
     while stride < g {
-        let mut nodes = Vec::new();
         let mut moves = Vec::new();
         for owner in (0..g).step_by(2 * stride) {
             let partner = owner + stride;
@@ -83,23 +78,32 @@ pub fn tsqr(m: &Machine, a: &DistMatrix) -> Tsqr {
             ));
         }
         coll::exchange(m, &group, &moves);
-        for owner in (0..g).step_by(2 * stride) {
-            let partner = owner + stride;
-            if partner >= g {
-                continue;
-            }
-            let top = current_r[owner].clone();
-            let bot = current_r[partner].clone();
-            let stacked = Matrix::vstack(&[&top, &bot]);
+        // Merge nodes of one level touch disjoint (owner, partner)
+        // pairs — run them concurrently, reading current_r immutably.
+        let pairs: Vec<(usize, usize)> = (0..g)
+            .step_by(2 * stride)
+            .filter_map(|owner| {
+                let partner = owner + stride;
+                (partner < g).then_some((owner, partner))
+            })
+            .collect();
+        let current = &current_r;
+        let mut nodes = exec::par_ranks(pairs.len(), |idx| {
+            let (owner, partner) = pairs[idx];
+            let top = &current[owner];
+            let bot = &current[partner];
+            let stacked = Matrix::vstack(&[top, bot]);
             let f = kern::local_qr(m, group.proc(owner), &stacked);
-            current_r[owner] = f.r.clone();
-            nodes.push(TreeNode {
+            TreeNode {
                 owner,
                 partner,
                 top_rows: top.rows(),
                 bot_rows: bot.rows(),
                 factors: f,
-            });
+            }
+        });
+        for node in &mut nodes {
+            current_r[node.owner] = node.factors.r.clone();
         }
         levels.push(nodes);
         stride *= 2;
@@ -135,18 +139,25 @@ pub fn explicit_q(m: &Machine, t: &Tsqr, out: &mut DistMatrix) {
     }
     slab[0] = Some(seed);
 
-    // Walk the tree top-down.
+    // Walk the tree top-down. Within a level the nodes own disjoint
+    // (owner, partner) slabs, so the node applications run concurrently:
+    // take the inputs in order, apply in parallel, store in order.
     for level in t.levels.iter().rev() {
-        let mut moves = Vec::new();
-        for node in level {
-            let c = slab[node.owner]
-                .take()
-                .expect("tree down-sweep: owner slab missing");
+        let inputs: Vec<Matrix> = level
+            .iter()
+            .map(|node| {
+                slab[node.owner]
+                    .take()
+                    .expect("tree down-sweep: owner slab missing")
+            })
+            .collect();
+        let split = exec::par_ranks(level.len(), |idx| {
+            let node = &level[idx];
             // Pad to the stacked height (the slab may be narrower when
             // leaf blocks had fewer rows than columns).
             let total = node.top_rows + node.bot_rows;
             let mut cin = Matrix::zeros(total, n);
-            cin.set_block(0, 0, &c);
+            cin.set_block(0, 0, &inputs[idx]);
             m.charge_flops(
                 t.group.proc(node.owner),
                 ca_dla::costs::apply_q_flops(total, node.factors.k(), n),
@@ -154,6 +165,10 @@ pub fn explicit_q(m: &Machine, t: &Tsqr, out: &mut DistMatrix) {
             apply_q(&node.factors.u, &node.factors.t, &mut cin);
             let top = cin.block(0, 0, node.top_rows, n);
             let bot = cin.block(node.top_rows, 0, node.bot_rows, n);
+            (top, bot)
+        });
+        let mut moves = Vec::new();
+        for (node, (top, bot)) in level.iter().zip(split) {
             moves.push((
                 t.group.proc(node.owner),
                 t.group.proc(node.partner),
@@ -165,18 +180,24 @@ pub fn explicit_q(m: &Machine, t: &Tsqr, out: &mut DistMatrix) {
         coll::exchange(m, &t.group, &moves);
     }
 
-    // Leaf application.
-    for rank in 0..g {
+    // Leaf application — independent per rank.
+    let slabs: Vec<Matrix> = slab
+        .into_iter()
+        .map(|s| s.expect("leaf slab missing"))
+        .collect();
+    let leaf_out = exec::par_ranks(g, |rank| {
         let leaf = &t.leaves[rank];
         let rows = leaf.u.rows();
-        let c = slab[rank].take().expect("leaf slab missing");
         let mut cin = Matrix::zeros(rows, n);
-        cin.set_block(0, 0, &c);
+        cin.set_block(0, 0, &slabs[rank]);
         m.charge_flops(
             t.group.proc(rank),
             ca_dla::costs::apply_q_flops(rows, leaf.k(), n),
         );
         apply_q(&leaf.u, &leaf.t, &mut cin);
+        cin
+    });
+    for (rank, cin) in leaf_out.into_iter().enumerate() {
         *out.local_mut(rank) = cin;
     }
     m.step(t.group.procs(), 1);

@@ -1,0 +1,189 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this local shim
+//! provides the (small) subset of the `rand 0.8` API this workspace
+//! uses: [`SeedableRng::seed_from_u64`], [`Rng::gen_range`] over
+//! primitive ranges, and [`distributions::Uniform`] sampling. The
+//! generator behind [`rngs::StdRng`] is xoshiro256** seeded through
+//! SplitMix64 — deterministic across platforms and runs, which is all
+//! the reproduction's seeded experiments require (they prescribe
+//! spectra, so no statistical property of the stream is load-bearing
+//! beyond "well spread").
+
+/// Core generator interface: a source of uniform random `u64`s.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be sampled uniformly from a half-open range.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + unit * (hi - lo)
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as u128).wrapping_sub(lo as u128) as u64;
+                // Modulo bias is irrelevant at the spans used here
+                // (test-case shapes), and determinism matters more.
+                lo + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(usize, u64, u32, i64, i32);
+
+/// Convenience methods on any generator (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniform draw from a half-open range, e.g. `rng.gen_range(-1.0..1.0)`.
+    fn gen_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Generators constructible from seeds (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (stands in for `rand`'s
+    /// ChaCha-based `StdRng`; the workspace only relies on seeded
+    /// reproducibility, not cryptographic quality).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    /// Alias — the shim has a single generator.
+    pub type SmallRng = StdRng;
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into the xoshiro state.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Distributions (subset of `rand::distributions`).
+pub mod distributions {
+    use super::{RngCore, SampleUniform};
+
+    /// A distribution that can be sampled with any generator.
+    pub trait Distribution<T> {
+        /// Draw one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform distribution over `[lo, hi)`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<T> {
+        lo: T,
+        hi: T,
+    }
+
+    impl<T: SampleUniform + Copy> Uniform<T> {
+        /// Uniform over the half-open range `[lo, hi)`.
+        pub fn new(lo: T, hi: T) -> Self {
+            Self { lo, hi }
+        }
+    }
+
+    impl<T: SampleUniform + Copy> Distribution<T> for Uniform<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+            T::sample_range(rng, self.lo, self.hi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic_and_distinct() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<f64> = (0..8).map(|_| a.gen_range(0.0..1.0)).collect();
+        let ys: Vec<f64> = (0..8).map(|_| b.gen_range(0.0..1.0)).collect();
+        let zs: Vec<f64> = (0..8).map(|_| c.gen_range(0.0..1.0)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+        assert!(xs.iter().all(|v| (0.0..1.0).contains(v)));
+    }
+
+    #[test]
+    fn integer_ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn f64_range_covers_span() {
+        let mut r = StdRng::seed_from_u64(9);
+        let draws: Vec<f64> = (0..512).map(|_| r.gen_range(-2.0..2.0)).collect();
+        assert!(draws.iter().any(|v| *v < -1.0));
+        assert!(draws.iter().any(|v| *v > 1.0));
+        assert!(draws.iter().all(|v| (-2.0..2.0).contains(v)));
+    }
+}

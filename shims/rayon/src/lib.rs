@@ -1,0 +1,520 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so this local shim
+//! implements the subset of rayon's data-parallel API the workspace
+//! uses, with real shared-memory parallelism built on
+//! [`std::thread::scope`]. Work is split into one contiguous block per
+//! worker (fork-join, no work stealing); with a single hardware thread
+//! every operation degenerates to an inline sequential loop with zero
+//! spawn overhead.
+//!
+//! Supported surface:
+//! * `(a..b).into_par_iter()` with `for_each`, `map(..).collect::<Vec<_>>()`
+//! * `slice.par_iter()` / `slice.par_iter_mut()` (+ `enumerate`)
+//! * `slice.par_chunks_mut(n)` (+ `enumerate`)
+//! * [`join`], [`current_num_threads`]
+//!
+//! The worker count honors `RAYON_NUM_THREADS`, defaulting to the
+//! available hardware parallelism.
+
+use std::sync::OnceLock;
+
+/// Number of worker threads used for parallel operations.
+pub fn current_num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Partition `0..n` into at most `current_num_threads()` contiguous
+/// blocks and return their boundaries (length = blocks + 1).
+fn block_bounds(n: usize) -> Vec<usize> {
+    let t = current_num_threads().min(n).max(1);
+    (0..=t).map(|w| w * n / t).collect()
+}
+
+/// Run `a` and `b` potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon shim: worker panicked"))
+    })
+}
+
+/// Run `f(lo, hi)` over a contiguous partition of `0..n`, one block per
+/// worker thread.
+fn run_partitioned<F: Fn(usize, usize) + Sync>(n: usize, f: F) {
+    if n == 0 {
+        return;
+    }
+    let bounds = block_bounds(n);
+    if bounds.len() <= 2 {
+        f(0, n);
+        return;
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        for w in bounds.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            if lo < hi {
+                s.spawn(move || f(lo, hi));
+            }
+        }
+    });
+}
+
+/// `map(..).collect::<Vec<_>>()` engine: evaluate `f(i)` for `i ∈ 0..n`
+/// in parallel, preserving index order.
+fn map_collect<T: Send, F: Fn(usize) -> T + Sync>(n: usize, f: F) -> Vec<T> {
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    {
+        let bounds = block_bounds(n);
+        let mut rest: &mut [Option<T>] = &mut out;
+        let mut pieces = Vec::with_capacity(bounds.len());
+        let mut at = 0;
+        for w in bounds.windows(2) {
+            let (piece, tail) = rest.split_at_mut(w[1] - w[0]);
+            pieces.push((w[0], piece));
+            rest = tail;
+            at = w[1];
+        }
+        debug_assert_eq!(at, n);
+        let f = &f;
+        if pieces.len() <= 1 {
+            for (off, piece) in pieces {
+                for (k, slot) in piece.iter_mut().enumerate() {
+                    *slot = Some(f(off + k));
+                }
+            }
+        } else {
+            std::thread::scope(|s| {
+                for (off, piece) in pieces {
+                    s.spawn(move || {
+                        for (k, slot) in piece.iter_mut().enumerate() {
+                            *slot = Some(f(off + k));
+                        }
+                    });
+                }
+            });
+        }
+    }
+    out.into_iter()
+        .map(|v| v.expect("rayon shim: missing mapped value"))
+        .collect()
+}
+
+/// Collection target of [`Map::collect`] (only `Vec<T>` is supported).
+pub trait FromParallelIterator<T> {
+    /// Build the collection from index-ordered results.
+    fn from_ordered_vec(v: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_vec(v: Vec<T>) -> Self {
+        v
+    }
+}
+
+/// Parallel iterator over `usize` indices (from a range).
+pub struct IndexedParIter {
+    start: usize,
+    end: usize,
+}
+
+impl IndexedParIter {
+    /// Apply `f` to every index in parallel.
+    pub fn for_each<F: Fn(usize) + Sync>(self, f: F) {
+        let start = self.start;
+        run_partitioned(self.end.saturating_sub(start), |lo, hi| {
+            for i in lo..hi {
+                f(start + i);
+            }
+        });
+    }
+
+    /// Map every index through `f` (lazily; consume with `collect`).
+    pub fn map<T, F: Fn(usize) -> T + Sync>(self, f: F) -> Map<F> {
+        Map {
+            start: self.start,
+            end: self.end,
+            f,
+        }
+    }
+}
+
+/// Lazy parallel map over an index range.
+pub struct Map<F> {
+    start: usize,
+    end: usize,
+    f: F,
+}
+
+impl<F> Map<F> {
+    /// Evaluate in parallel, preserving order.
+    pub fn collect<C, T>(self) -> C
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+        C: FromParallelIterator<T>,
+    {
+        let start = self.start;
+        let f = self.f;
+        C::from_ordered_vec(map_collect(self.end.saturating_sub(start), |i| f(start + i)))
+    }
+
+    /// Apply the mapped function for its effects only.
+    pub fn for_each<T, G: Fn(T) + Sync>(self, g: G)
+    where
+        F: Fn(usize) -> T + Sync,
+    {
+        let start = self.start;
+        let f = &self.f;
+        run_partitioned(self.end.saturating_sub(start), |lo, hi| {
+            for i in lo..hi {
+                g(f(start + i));
+            }
+        });
+    }
+}
+
+/// Conversion into a parallel iterator (ranges of `usize`).
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = IndexedParIter;
+    fn into_par_iter(self) -> IndexedParIter {
+        IndexedParIter {
+            start: self.start,
+            end: self.end.max(self.start),
+        }
+    }
+}
+
+/// Parallel shared iterator over slice elements.
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Apply `f` to every element in parallel.
+    pub fn for_each<F: Fn(&'a T) + Sync>(self, f: F) {
+        let slice = self.slice;
+        run_partitioned(slice.len(), |lo, hi| {
+            for item in &slice[lo..hi] {
+                f(item);
+            }
+        });
+    }
+
+    /// Pair every element with its index.
+    pub fn enumerate(self) -> EnumParIter<'a, T> {
+        EnumParIter { slice: self.slice }
+    }
+}
+
+/// Enumerated variant of [`ParIter`].
+pub struct EnumParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> EnumParIter<'a, T> {
+    /// Apply `f((index, &item))` in parallel.
+    pub fn for_each<F: Fn((usize, &'a T)) + Sync>(self, f: F) {
+        let slice = self.slice;
+        run_partitioned(slice.len(), |lo, hi| {
+            for (i, item) in slice[lo..hi].iter().enumerate() {
+                f((lo + i, item));
+            }
+        });
+    }
+}
+
+/// Split `items` into per-worker contiguous sub-slices (with global
+/// offsets) and run `f` on each worker's share.
+fn for_each_split<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return;
+    }
+    let bounds = block_bounds(n);
+    if bounds.len() <= 2 {
+        f(0, items);
+        return;
+    }
+    let mut pieces = Vec::with_capacity(bounds.len() - 1);
+    let mut rest = items;
+    for w in bounds.windows(2) {
+        let (piece, tail) = rest.split_at_mut(w[1] - w[0]);
+        pieces.push((w[0], piece));
+        rest = tail;
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        for (off, piece) in pieces {
+            s.spawn(move || f(off, piece));
+        }
+    });
+}
+
+/// Parallel exclusive iterator over slice elements.
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Apply `f` to every element in parallel.
+    pub fn for_each<F: Fn(&mut T) + Sync>(self, f: F) {
+        for_each_split(self.slice, |_, piece| {
+            for item in piece.iter_mut() {
+                f(item);
+            }
+        });
+    }
+
+    /// Pair every element with its index.
+    pub fn enumerate(self) -> EnumParIterMut<'a, T> {
+        EnumParIterMut { slice: self.slice }
+    }
+}
+
+/// Enumerated variant of [`ParIterMut`].
+pub struct EnumParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> EnumParIterMut<'a, T> {
+    /// Apply `f((index, &mut item))` in parallel.
+    pub fn for_each<F: Fn((usize, &mut T)) + Sync>(self, f: F) {
+        for_each_split(self.slice, |off, piece| {
+            for (i, item) in piece.iter_mut().enumerate() {
+                f((off + i, item));
+            }
+        });
+    }
+}
+
+/// Parallel iterator over mutable chunks of a slice.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Apply `f` to every chunk in parallel.
+    pub fn for_each<F: Fn(&mut [T]) + Sync>(self, f: F) {
+        self.enumerate().for_each(|(_, c)| f(c));
+    }
+
+    /// Pair every chunk with its chunk index.
+    pub fn enumerate(self) -> EnumParChunksMut<'a, T> {
+        EnumParChunksMut {
+            slice: self.slice,
+            size: self.size,
+        }
+    }
+}
+
+/// Enumerated variant of [`ParChunksMut`].
+pub struct EnumParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> EnumParChunksMut<'a, T> {
+    /// Apply `f((chunk_index, chunk))` in parallel.
+    pub fn for_each<F: Fn((usize, &mut [T])) + Sync>(self, f: F) {
+        let size = self.size;
+        assert!(size > 0, "par_chunks_mut: chunk size must be positive");
+        let len = self.slice.len();
+        let n_chunks = len.div_ceil(size);
+        if n_chunks == 0 {
+            return;
+        }
+        let bounds = block_bounds(n_chunks);
+        if bounds.len() <= 2 {
+            for (i, chunk) in self.slice.chunks_mut(size).enumerate() {
+                f((i, chunk));
+            }
+            return;
+        }
+        let mut pieces = Vec::with_capacity(bounds.len() - 1);
+        let mut rest = self.slice;
+        for w in bounds.windows(2) {
+            let elems = (w[1] * size).min(len) - w[0] * size;
+            let (piece, tail) = rest.split_at_mut(elems);
+            pieces.push((w[0], piece));
+            rest = tail;
+        }
+        let f = &f;
+        std::thread::scope(|s| {
+            for (chunk0, piece) in pieces {
+                s.spawn(move || {
+                    for (i, chunk) in piece.chunks_mut(size).enumerate() {
+                        f((chunk0 + i, chunk));
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// `.par_iter()` on shared slices.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type.
+    type Item;
+    /// Parallel iterator type.
+    type Iter;
+    /// Convert.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParIter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParIter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// `.par_iter_mut()` on exclusive slices.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Element type.
+    type Item;
+    /// Parallel iterator type.
+    type Iter;
+    /// Convert.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    type Iter = ParIterMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    type Iter = ParIterMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+/// `.par_chunks_mut(n)` on exclusive slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over mutable `chunk_size`-sized chunks.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        ParChunksMut {
+            slice: self,
+            size: chunk_size,
+        }
+    }
+}
+
+/// Common imports, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 1000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == 2 * i));
+    }
+
+    #[test]
+    fn range_for_each_visits_every_index_once() {
+        let sum = AtomicU64::new(0);
+        (0..257).into_par_iter().for_each(|i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 256 * 257 / 2);
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerate_covers_slice() {
+        let mut data = vec![0usize; 103];
+        data.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = i * 10 + k;
+            }
+        });
+        assert!(data.iter().enumerate().all(|(i, &x)| x == i));
+    }
+
+    #[test]
+    fn par_iter_mut_enumerate() {
+        let mut data = vec![0usize; 37];
+        data.par_iter_mut().enumerate().for_each(|(i, v)| *v = i + 1);
+        assert!(data.iter().enumerate().all(|(i, &x)| x == i + 1));
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn empty_inputs_are_noops() {
+        let v: Vec<usize> = (5..5).into_par_iter().map(|i| i).collect();
+        assert!(v.is_empty());
+        let mut e: Vec<u8> = Vec::new();
+        e.par_chunks_mut(4).for_each(|_| panic!("no chunks expected"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! Supports exactly what this workspace derives on: non-generic structs
+//! with named fields whose types implement the shim's `Serialize`
+//! trait. The token parsing is hand-rolled (no `syn`/`quote` — the
+//! build environment has no registry access), so anything fancier
+//! (enums, generics, tuple structs, serde attributes) is rejected with
+//! a compile error rather than silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the shim's `Serialize` (JSON object of the named fields).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = match parse_struct(input) {
+        Ok(v) => v,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let mut body = String::new();
+    body.push_str("out.push('{');\n");
+    for (i, field) in fields.iter().enumerate() {
+        if i > 0 {
+            body.push_str("out.push(',');\n");
+        }
+        body.push_str(&format!(
+            "out.push_str(\"\\\"{field}\\\":\");\n\
+             ::serde::Serialize::write_json(&self.{field}, out);\n"
+        ));
+    }
+    body.push_str("out.push('}');");
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn write_json(&self, out: &mut ::std::string::String) {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Derive `Deserialize` — a no-op marker: nothing in this workspace
+/// deserializes, the derive only has to exist so `#[derive(Deserialize)]`
+/// keeps compiling.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Extract `(struct_name, field_names)` from a derive input.
+fn parse_struct(input: TokenStream) -> Result<(String, Vec<String>), String> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes (`#[...]`) and visibility, find `struct Name`.
+    let mut name = None;
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Consume the following [...] group.
+                tokens.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match tokens.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    _ => return Err("serde shim derive: expected struct name".into()),
+                }
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                return Err("serde shim derive: enums are not supported".into());
+            }
+            _ => {}
+        }
+    }
+    let name = name.ok_or_else(|| "serde shim derive: not a struct".to_string())?;
+    // The next brace group holds the named fields. Anything between the
+    // name and the brace (generics, where clauses) is unsupported.
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err("serde shim derive: generic structs are not supported".into());
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err("serde shim derive: tuple structs are not supported".into());
+            }
+            Some(_) => continue,
+            None => return Err("serde shim derive: struct body not found".into()),
+        }
+    };
+    // Parse `(#[attr])* (pub)? name : Type ,` sequences. Field types may
+    // contain `<...>` (e.g. `Vec<f64>`), whose commas must not split
+    // fields.
+    let mut fields = Vec::new();
+    let mut inner = body.stream().into_iter().peekable();
+    'fields: while inner.peek().is_some() {
+        // Skip attributes and visibility.
+        let field_name = loop {
+            match inner.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    inner.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    // `pub(crate)` etc.: skip a following paren group.
+                    if let Some(TokenTree::Group(g)) = inner.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            inner.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(_) => return Err("serde shim derive: unexpected token in fields".into()),
+                None => break 'fields,
+            }
+        };
+        match inner.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err("serde shim derive: expected `:` after field name".into()),
+        }
+        fields.push(field_name);
+        // Skip the type up to a top-level comma.
+        let mut angle_depth = 0i32;
+        loop {
+            match inner.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => break,
+                Some(_) => {}
+                None => break 'fields,
+            }
+        }
+    }
+    Ok((name, fields))
+}

@@ -1,0 +1,34 @@
+//! Offline stand-in for `serde_json`: only [`to_string`], over the
+//! local serde shim's JSON-writing `Serialize` trait.
+
+use std::fmt;
+
+/// Serialization error. The shim's serializers are infallible, so this
+/// type exists only to keep `serde_json::to_string(..)?`-style call
+/// sites compiling.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json shim error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` as a JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.write_json(&mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn to_string_writes_json() {
+        assert_eq!(super::to_string(&vec![1u64, 2]).unwrap(), "[1,2]");
+        assert_eq!(super::to_string("x").unwrap(), "\"x\"");
+    }
+}

@@ -1,0 +1,73 @@
+//! Serial ↔ parallel executor equivalence: the parallel superstep
+//! executor must be an *invisible* optimization. For a fixed input, a
+//! run with every `ca_pla::exec` dispatch forced serial and a run with
+//! full thread-level parallelism must produce bitwise-identical numbers
+//! **and** identical cost ledgers (same F, W, Q, S after folding).
+//!
+//! This holds by construction — ledger charges are commutative atomic
+//! adds folded only at quiescent fences, and floating-point results are
+//! committed in rank order — and these tests pin it down for the two
+//! algorithms with the most intricate parallel structure.
+
+use ca_symm_eig::bsp::{Costs, Machine, MachineParams};
+use ca_symm_eig::dla::{gen, BandedSym, Matrix};
+use ca_symm_eig::eigen::full_to_band::full_to_band;
+use ca_symm_eig::eigen::EigenParams;
+use ca_symm_eig::pla::dist::DistMatrix;
+use ca_symm_eig::pla::exec;
+use ca_symm_eig::pla::grid::Grid;
+use ca_symm_eig::pla::rect_qr::rect_qr_tree;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run_full_to_band(n: usize, p: usize, b: usize, seed: u64) -> (BandedSym, Costs) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = gen::random_symmetric(&mut rng, n);
+    let machine = Machine::new(MachineParams::new(p));
+    let params = EigenParams::new(p, 1);
+    let (band, _) = full_to_band(&machine, &params, &a, b);
+    (band, machine.report())
+}
+
+#[test]
+fn full_to_band_ledger_and_numbers_match_serial() {
+    let (band_ser, costs_ser) = exec::with_forced_serial(|| run_full_to_band(64, 16, 8, 11));
+    let (band_par, costs_par) = run_full_to_band(64, 16, 8, 11);
+    assert_eq!(
+        band_ser, band_par,
+        "parallel full_to_band must be bitwise identical to serial"
+    );
+    assert_eq!(
+        costs_ser, costs_par,
+        "folded F/W/Q/S ledgers must not depend on executor threading"
+    );
+}
+
+fn run_rect_qr(m: usize, n: usize, p: usize, seed: u64) -> (Matrix, Matrix, Costs) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = gen::random_matrix(&mut rng, m, n);
+    let machine = Machine::new(MachineParams::new(p));
+    let grid = Grid::new_1d((0..p).collect());
+    let ad = DistMatrix::from_dense(&machine, &grid, &a);
+    let (q, r) = rect_qr_tree(&machine, &ad, p);
+    (q.assemble_unchecked(), r, machine.report())
+}
+
+#[test]
+fn rect_qr_ledger_and_numbers_match_serial() {
+    let (q_ser, r_ser, costs_ser) = exec::with_forced_serial(|| run_rect_qr(96, 48, 8, 23));
+    let (q_par, r_par, costs_par) = run_rect_qr(96, 48, 8, 23);
+    assert_eq!(q_ser, q_par, "explicit Q must be bitwise identical");
+    assert_eq!(r_ser, r_par, "R factor must be bitwise identical");
+    assert_eq!(
+        costs_ser, costs_par,
+        "folded F/W/Q/S ledgers must not depend on executor threading"
+    );
+}
+
+#[test]
+fn forced_serial_scope_restores_parallel_dispatch() {
+    assert!(!exec::serial_forced() || std::env::var("CA_SERIAL").is_ok());
+    exec::with_forced_serial(|| assert!(exec::serial_forced()));
+    assert!(!exec::serial_forced() || std::env::var("CA_SERIAL").is_ok());
+}
