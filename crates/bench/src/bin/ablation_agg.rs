@@ -114,7 +114,7 @@ fn full_to_band_eager(
 
     // Replicate A once (same as the aggregated variant).
     for &pid in grid3.procs() {
-        machine.charge_comm(pid, 2 * (n as u64 * n as u64) / params.p as u64);
+        machine.charge_comm(pid, 2 * (n as u64 * n as u64).div_ceil(params.p as u64));
         machine.alloc(pid, (n as u64 * n as u64) / q2);
     }
     machine.step(grid3.procs(), 2);
@@ -171,7 +171,7 @@ fn full_to_band_eager(
             machine.charge_comm(
                 pid,
                 4 * (m_t * b) as u64 / params.p_delta() as u64
-                    + 2 * (2 * m_t * b) as u64 / params.p as u64,
+                    + 2 * ((2 * m_t * b) as u64).div_ceil(params.p as u64),
             );
         }
         machine.step(grid3.procs(), 2);

@@ -119,7 +119,12 @@ pub fn casbr_eigensolver(machine: &Machine, p: usize, a: &Matrix) -> Vec<f64> {
         let active = grid.prefix((n / band.bandwidth()).clamp(1, p));
         band = ca_sbr(machine, &active, &band);
     }
-    ca_pla::coll::gather(machine, &grid, 0, (n * (band.bandwidth() + 1)) as u64 / p as u64);
+    ca_pla::coll::gather(
+        machine,
+        &grid,
+        0,
+        ((n * (band.bandwidth() + 1)) as u64).div_ceil(p as u64),
+    );
     machine.charge_flops(0, 6 * (n as u64) * (band.bandwidth() as u64).pow(2) + 30 * (n as u64).pow(2));
     machine.fence();
     ca_dla::tridiag::banded_eigenvalues(&band)

@@ -1,5 +1,7 @@
 //! Algorithm IV.2: **2.5D-Band-to-Band** — reduce a symmetric banded
-//! matrix from band-width `b` to `h = b/k` by pipelined bulge chasing.
+//! matrix from band-width `b` to any target `h < b` (the paper's
+//! `h = b/k`, generalized to non-divisor targets for arbitrary `n`) by
+//! pipelined bulge chasing.
 //!
 //! The chase schedule comes from [`ca_dla::bulge::chase_plan`] (the
 //! paper's exact index ranges); iterations with equal `2i + j` run
@@ -19,7 +21,7 @@
 //! exactly at the granularity the paper's cost expressions sum over.
 
 use ca_bsp::Machine;
-use ca_dla::bulge::{chase_plan, ChaseOp};
+use ca_dla::bulge::{chase_plan_to, ChaseOp};
 use ca_dla::gemm::Trans;
 use ca_dla::{BandedSym, Matrix};
 use ca_pla::dist::DistMatrix;
@@ -49,9 +51,10 @@ pub struct ChaseRecord {
     pub qr_procs: usize,
 }
 
-/// Reduce `bmat` from band-width `b` to `b/k` on the processors of
+/// Reduce `bmat` from band-width `b` to `⌈b/k⌉` on the processors of
 /// `grid` (1D), charging per Algorithm IV.2. `v_mem` is the Lemma III.2
-/// memory parameter for the update multiplies.
+/// memory parameter for the update multiplies. `k` need not divide `b`
+/// (odd band-widths arise for arbitrary `n`); the target rounds up.
 pub fn band_to_band(
     machine: &Machine,
     grid: &Grid,
@@ -59,34 +62,49 @@ pub fn band_to_band(
     k: usize,
     v_mem: usize,
 ) -> (BandedSym, BandToBandTrace) {
-    band_to_band_impl(machine, grid, bmat, k, v_mem, None)
+    assert!(k >= 1 && k <= bmat.bandwidth(), "need 1 ≤ k ≤ band-width");
+    let h = bmat.bandwidth().div_ceil(k);
+    band_to_band_impl(machine, grid, bmat, h, v_mem, None)
 }
 
-/// [`band_to_band`] with transform recording: each chase's `(U, T)` is
-/// appended to `rec` in execution (pipeline-phase) order.
-pub fn band_to_band_logged(
+/// [`band_to_band`] with an explicit target band-width `h` (any
+/// `1 ≤ h ≤ b`) instead of a divisor `k` — the solver's schedule for
+/// arbitrary `n` clamps the last halving to `n/pᵟ` rather than
+/// overshooting it, and such targets are not expressible as `⌈b/k⌉`.
+pub fn band_to_band_to(
     machine: &Machine,
     grid: &Grid,
     bmat: &BandedSym,
-    k: usize,
+    h: usize,
+    v_mem: usize,
+) -> (BandedSym, BandToBandTrace) {
+    band_to_band_impl(machine, grid, bmat, h, v_mem, None)
+}
+
+/// [`band_to_band_to`] with transform recording: each chase's `(U, T)`
+/// is appended to `rec` in execution (pipeline-phase) order.
+pub fn band_to_band_to_logged(
+    machine: &Machine,
+    grid: &Grid,
+    bmat: &BandedSym,
+    h: usize,
     v_mem: usize,
     rec: &mut Vec<crate::transforms::Reflectors>,
 ) -> (BandedSym, BandToBandTrace) {
-    band_to_band_impl(machine, grid, bmat, k, v_mem, Some(rec))
+    band_to_band_impl(machine, grid, bmat, h, v_mem, Some(rec))
 }
 
 fn band_to_band_impl(
     machine: &Machine,
     grid: &Grid,
     bmat: &BandedSym,
-    k: usize,
+    h: usize,
     v_mem: usize,
     mut rec: Option<&mut Vec<crate::transforms::Reflectors>>,
 ) -> (BandedSym, BandToBandTrace) {
     let n = bmat.n();
     let b = bmat.bandwidth();
-    assert!(k >= 1 && b.is_multiple_of(k), "k must divide the band-width");
-    let h = b / k;
+    assert!(h >= 1 && h <= b, "need 1 ≤ h ≤ band-width");
     let p = grid.len();
 
     // Working copy with bulge capacity.
@@ -104,9 +122,9 @@ fn band_to_band_impl(
         return (work, trace);
     }
 
-    // Processor groups Π̂ⱼ: n/b groups of p̂ = p·b/n processors
+    // Processor groups Π̂ⱼ: ⌈n/b⌉ groups of p̂ = p·b/n processors
     // (clamped to the machine we actually have).
-    let n_groups = (n / b).clamp(1, p);
+    let n_groups = n.div_ceil(b).clamp(1, p);
     let p_hat = (p / n_groups).max(1);
     let groups: Vec<Grid> = (0..n_groups)
         .map(|g| Grid::new_1d(grid.procs()[g * p_hat..(g + 1) * p_hat].to_vec()))
@@ -116,7 +134,7 @@ fn band_to_band_impl(
     // order, verified bitwise-equivalent to the sequential order in
     // ca-dla's tests), chunked into pipeline phases: chases with equal
     // 2i + j run concurrently on their disjoint groups Π̂ⱼ.
-    let mut plan = chase_plan(n, b, k);
+    let mut plan = chase_plan_to(n, b, h);
     plan.sort_by_key(|op| (op.phase(), op.i));
     let mut phases: Vec<Vec<ChaseOp>> = Vec::new();
     for op in plan {
@@ -246,7 +264,7 @@ fn charge_window_residency(
     let win_words = (fresh_cols * height) as u64;
     *last_window = Some((lo, hi));
     for &pid in group.procs() {
-        machine.charge_comm(pid, 2 * win_words / group.len() as u64);
+        machine.charge_comm(pid, 2 * win_words.div_ceil(group.len() as u64));
     }
     machine.step(group.procs(), 1);
 }
@@ -296,7 +314,7 @@ fn chase_compute(
         // for the update multiplies — the lemma never replicates them).
         let factor_words = (f.u.len() + f.t.len() + f.r.len()) as u64;
         for &pid in group.procs() {
-            machine.charge_comm(pid, 2 * factor_words / p_hat);
+            machine.charge_comm(pid, 2 * factor_words.div_ceil(p_hat));
         }
         machine.step(group.procs(), 1);
         (f.u, f.t, f.r)
@@ -330,7 +348,7 @@ fn chase_compute(
         }
     }
     for &pid in group.procs() {
-        machine.charge_flops(pid, (nr * kk) as u64 / p_hat);
+        machine.charge_flops(pid, ((nr * kk) as u64).div_ceil(p_hat));
     }
 
     // Lines 21–22: the symmetric rank-2h update (resident operands).
@@ -342,14 +360,14 @@ fn chase_compute(
     upd_cols.axpy(1.0, &uvt.transpose());
     d.set_block(up_c, qr_r, &upd_cols);
     for &pid in group.procs() {
-        machine.charge_flops(pid, 2 * (nr * nc) as u64 / p_hat);
+        machine.charge_flops(pid, 2 * ((nr * nc) as u64).div_ceil(p_hat));
     }
 
     // Hand the boundary region off to the adjacent group (the window
     // stays resident otherwise).
     let boundary_words = (h * height) as u64;
     for &pid in group.procs() {
-        machine.charge_comm(pid, 2 * boundary_words / p_hat);
+        machine.charge_comm(pid, 2 * boundary_words.div_ceil(p_hat));
     }
     machine.step(group.procs(), 1);
     (u, t)

@@ -23,10 +23,11 @@ use ca_pla::grid::Grid;
 pub fn elpa_two_stage(machine: &Machine, p: usize, a: &Matrix) -> Vec<f64> {
     let n = a.rows();
     let params = EigenParams::new(p, 1);
-    // Intermediate band-width: n/q clamped to [2, n/2], a power of two
-    // (ELPA picks the band to make stage-1 BLAS-3 and stage-2 cheap).
-    let b = (n / params.q.max(1)).clamp(2, n / 2).next_power_of_two();
-    let b = if b > n / 2 { n / 2 } else { b };
+    // Intermediate band-width: n/q clamped to [2, n/2] (arbitrary n —
+    // no power-of-two snapping; ELPA picks the band to make stage-1
+    // BLAS-3 and stage-2 cheap).
+    let hi = (n / 2).max(1);
+    let b = (n / params.q.max(1)).clamp(2.min(hi), hi);
 
     // Stage 1: 2D full → band (no replication).
     let (band, _) = full_to_band(machine, &params, a, b);
@@ -37,7 +38,7 @@ pub fn elpa_two_stage(machine: &Machine, p: usize, a: &Matrix) -> Vec<f64> {
 
     // Gather the tridiagonal and solve sequentially.
     let (d, e) = tri.tridiagonal();
-    coll::gather(machine, &grid, 0, (2 * n / p.max(1)) as u64);
+    coll::gather(machine, &grid, 0, ((2 * n) as u64).div_ceil(p.max(1) as u64));
     machine.charge_flops(grid.proc(0), 30 * (n as u64).pow(2));
     machine.fence();
     ca_dla::tridiag::tridiag_eigenvalues(&d, &e)

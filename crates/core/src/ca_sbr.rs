@@ -17,8 +17,9 @@ use ca_dla::costs;
 use ca_dla::BandedSym;
 use ca_pla::grid::Grid;
 
-/// Halve the band-width of `bmat` (`b → b/2`) on the processors of
-/// `grid` (1D column layout).
+/// Halve the band-width of `bmat` (`b → ⌈b/2⌉`) on the processors of
+/// `grid` (1D column layout). Odd band-widths (which arise for
+/// arbitrary `n`) round the target up.
 pub fn ca_sbr(machine: &Machine, grid: &Grid, bmat: &BandedSym) -> BandedSym {
     ca_sbr_impl(machine, grid, bmat, None)
 }
@@ -47,9 +48,10 @@ fn ca_sbr_impl(
     let cols_per_proc = n.div_ceil(p);
 
     // Redistribution from any starting layout: O(nb/p) words each
-    // (the lemma's O(β·nb) total term).
+    // (the lemma's O(β·nb) total term; ceiling division — the straggler
+    // with the ragged remainder sets the cost).
     for &pid in grid.procs() {
-        machine.charge_comm(pid, (n * (b + 1)) as u64 / p as u64 * 2);
+        machine.charge_comm(pid, ((n * (b + 1)) as u64).div_ceil(p as u64) * 2);
     }
     machine.step(grid.procs(), 1);
 
@@ -108,7 +110,7 @@ fn ca_sbr_impl(
     machine.step(grid.procs(), p as u64);
     machine.fence();
 
-    work.set_bandwidth(b / 2);
+    work.set_bandwidth(b.div_ceil(2));
     work
 }
 

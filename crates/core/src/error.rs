@@ -1,0 +1,124 @@
+//! Typed validation errors for the solver's public entry points.
+//!
+//! The seed implementation `panic!`ed on every malformed input (shape,
+//! symmetry, grid), which is fine for a research harness but means a
+//! serving layer cannot reject a bad request without catching unwinds.
+//! Every input-validation failure now surfaces as an [`EigenError`];
+//! the original panicking entry points remain as thin shims that
+//! `unwrap` the `Result` (so existing callers and tests are
+//! unaffected).
+
+use std::fmt;
+
+/// Why an eigensolver request was rejected before any work ran.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EigenError {
+    /// The input matrix is not square.
+    NonSquareInput {
+        /// Row count of the offending matrix.
+        rows: usize,
+        /// Column count of the offending matrix.
+        cols: usize,
+    },
+    /// The problem dimension is below the solver's minimum (`n ≥ 2`).
+    TooSmall {
+        /// The offending dimension.
+        n: usize,
+    },
+    /// The input matrix is not symmetric (relative asymmetry above
+    /// tolerance).
+    AsymmetricInput {
+        /// Measured `max |A − Aᵀ|` relative to `max |A|`.
+        asymmetry: f64,
+    },
+    /// `p = 0`: at least one processor is required.
+    NoProcessors,
+    /// The replication factor does not divide the processor count
+    /// (`c ∤ p`, or `c = 0`).
+    ReplicationMismatch {
+        /// Processor count.
+        p: usize,
+        /// Replication factor.
+        c: usize,
+    },
+    /// `p/c` is not a perfect square, so no `q × q × c` grid exists.
+    NonSquareGrid {
+        /// Processor count.
+        p: usize,
+        /// Replication factor.
+        c: usize,
+    },
+    /// The replication factor leaves the paper's `c ≤ p^{1/3}` regime.
+    ReplicationOutOfRegime {
+        /// Processor count.
+        p: usize,
+        /// Replication factor.
+        c: usize,
+    },
+}
+
+impl fmt::Display for EigenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NonSquareInput { rows, cols } => {
+                write!(f, "input must be square (got {rows} × {cols})")
+            }
+            Self::TooSmall { n } => {
+                write!(f, "matrix dimension must be at least 2 (got n = {n})")
+            }
+            Self::AsymmetricInput { asymmetry } => {
+                write!(f, "input must be symmetric (relative asymmetry {asymmetry:.3e})")
+            }
+            Self::NoProcessors => write!(f, "at least one processor is required (p = 0)"),
+            Self::ReplicationMismatch { p, c } => {
+                write!(f, "c must divide p (got p = {p}, c = {c})")
+            }
+            Self::NonSquareGrid { p, c } => {
+                write!(
+                    f,
+                    "p/c = {} must be a perfect square (got p = {p}, c = {c})",
+                    if *c == 0 { 0 } else { p / c }
+                )
+            }
+            Self::ReplicationOutOfRegime { p, c } => {
+                write!(
+                    f,
+                    "c = {c} exceeds the paper's c ≤ p^{{1/3}} regime for p = {p}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EigenError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_name_the_offending_values() {
+        let cases: Vec<(EigenError, &str)> = vec![
+            (EigenError::NonSquareInput { rows: 3, cols: 4 }, "3 × 4"),
+            (EigenError::TooSmall { n: 1 }, "n = 1"),
+            (EigenError::NoProcessors, "p = 0"),
+            (EigenError::ReplicationMismatch { p: 10, c: 3 }, "c must divide p"),
+            (EigenError::NonSquareGrid { p: 24, c: 2 }, "perfect square"),
+            (
+                EigenError::ReplicationOutOfRegime { p: 8, c: 4 },
+                "c ≤ p^{1/3}",
+            ),
+        ];
+        for (e, needle) in cases {
+            let msg = e.to_string();
+            assert!(msg.contains(needle), "{msg:?} missing {needle:?}");
+        }
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&EigenError::NoProcessors);
+    }
+}

@@ -26,6 +26,7 @@ use ca_pla::carma::carma_spread;
 use ca_pla::dist::DistMatrix;
 use ca_pla::exec;
 use ca_pla::grid::Grid;
+use ca_pla::kern;
 use ca_pla::rect_qr::rect_qr;
 use ca_pla::streaming::streaming_mm_dense;
 
@@ -54,7 +55,10 @@ pub struct PanelTrace {
 }
 
 /// Reduce the symmetric `a` to a banded matrix of band-width `b` with
-/// the same eigenvalues (Algorithm IV.1). Requires `b | n`, `b < n`.
+/// the same eigenvalues (Algorithm IV.1). Requires `1 ≤ b < n`; `n`
+/// need not be a multiple of `b` — the final panel is simply shorter
+/// (its sub-diagonal block has fewer than `b` rows, factored by a
+/// local wide QR).
 pub fn full_to_band(
     machine: &Machine,
     params: &EigenParams,
@@ -88,13 +92,15 @@ fn full_to_band_impl(
     assert_eq!(n, a.cols(), "input must be square");
     assert!(a.asymmetry() < 1e-10 * a.norm_max().max(1.0), "input must be symmetric");
     assert!(b >= 1 && b < n, "band-width must satisfy 1 ≤ b < n");
-    assert_eq!(n % b, 0, "band-width must divide n");
 
     let grid3 = params.grid3();
     let w_depth = params.stream_depth(n, b);
     let v_mem = params.p_2m3d();
     let all = Grid::all(params.p);
-    let per_proc = |words: usize| words as u64 / params.p.max(1) as u64;
+    // Per-processor share of a `words`-sized object, rounded up: the
+    // straggler holding the ragged remainder sets the BSP cost, so
+    // truncating here would under-count whenever p ∤ words.
+    let per_proc = |words: usize| (words as u64).div_ceil(params.p.max(1) as u64);
 
     // Replicate A over the c layers (the Require block of Alg IV.1).
     // The dense copy below is the numerical stand-in for the per-layer
@@ -152,25 +158,41 @@ fn full_to_band_impl(
         a11.symmetrize();
         write_diag_block(&mut out, o, &a11);
 
-        // Line 7: QR of A̅₂₁ on z·pᵟ processors.
+        // Line 7: QR of A̅₂₁ on z·pᵟ processors. A ragged n leaves the
+        // final panel's sub-diagonal block wide (fewer than b rows);
+        // rect_qr requires m ≥ n, so that block is factored locally on
+        // the group leader with the factors re-spread — the same
+        // small-block fallback Algorithm IV.2's executor uses.
         let qr_procs = params.panel_qr_procs(n, b).min(rem - b).max(1);
-        let qr_group = Grid::new_2d((0..qr_procs).collect(), qr_procs, 1);
         let a21 = panel.block(b, 0, rem - b, b);
-        let da21 = DistMatrix::from_dense(machine, &qr_group, &a21);
-        let f = rect_qr(machine, &da21);
-        da21.release(machine);
+        let (u1, t1, r1) = if rem - b >= b {
+            let qr_group = Grid::new_2d((0..qr_procs).collect(), qr_procs, 1);
+            let da21 = DistMatrix::from_dense(machine, &qr_group, &a21);
+            let f = rect_qr(machine, &da21);
+            da21.release(machine);
+            let u1 = f.u.assemble_unchecked();
+            f.u.release(machine);
+            (u1, f.t, f.r)
+        } else {
+            let f = kern::local_qr(machine, all.proc(0), &a21);
+            let factor_words = (f.u.len() + f.t.len() + f.r.len()) as u64;
+            for &pid in all.procs() {
+                machine.charge_comm(pid, 2 * factor_words.div_ceil(params.p as u64));
+            }
+            machine.step(all.procs(), 1);
+            (f.u, f.t, f.r)
+        };
 
-        // R (b×b upper) is the sub-diagonal block of the band.
-        write_subdiag_block(&mut out, o, &f.r);
+        // R is the sub-diagonal block of the band (upper-trapezoidal
+        // when the panel is ragged).
+        write_subdiag_block(&mut out, o, &r1);
 
         // Line 8: W = A₂₂·U₁ + U₂⁽⁰⁾(V₂⁽⁰⁾ᵀU₁) + V₂⁽⁰⁾(U₂⁽⁰⁾ᵀU₁).
-        let u1 = f.u.assemble_unchecked();
-        f.u.release(machine);
         if let Some(r) = rec.as_deref_mut() {
             r.push(crate::transforms::Reflectors {
                 row0: o + b,
                 u: u1.clone(),
-                t: f.t.clone(),
+                t: t1.clone(),
             });
         }
         let mut w = streaming_mm_dense(
@@ -209,10 +231,10 @@ fn full_to_band_impl(
         // Line 9: V₁ = ½U₁(Tᵀ(U₁ᵀ(W·T))) − W·T, via Lemma III.2
         // multiplies with v = p^{2−3δ} (right to left, as the
         // Lemma IV.1 proof prescribes).
-        let wt = carma_spread(machine, &all, &w, &f.t, v_mem);
+        let wt = carma_spread(machine, &all, &w, &t1, v_mem);
         let u1t = u1.transpose();
         let utwt = carma_spread(machine, &all, &u1t, &wt, 1);
-        let tt = f.t.transpose();
+        let tt = t1.transpose();
         let t_utwt = carma_spread(machine, &all, &tt, &utwt, 1);
         let corr = carma_spread(machine, &all, &u1, &t_utwt, v_mem);
         let mut v1 = wt;
@@ -222,16 +244,19 @@ fn full_to_band_impl(
             machine.charge_flops(pid, 2 * per_proc((rem - b) * b));
         }
 
-        // Line 10: replicate U₁ and V₁ over the layers and append.
-        let rep_words = 2 * (rem - b) * b;
+        // Line 10: replicate U₁ and V₁ over the layers and append. A
+        // ragged final panel contributes only k = min(rem − b, b)
+        // reflector columns.
+        let kk = u1.cols();
+        let rep_words = 2 * (rem - b) * kk;
         for &pid in grid3.procs() {
-            machine.charge_comm(pid, 2 * rep_words as u64 / params.p as u64);
-            machine.alloc(pid, rep_words as u64 / (params.q * params.q) as u64);
+            machine.charge_comm(pid, 2 * (rep_words as u64).div_ceil(params.p as u64));
+            machine.alloc(pid, (rep_words as u64).div_ceil((params.q * params.q) as u64));
         }
         machine.step(grid3.procs(), 2);
 
-        let mut u_next = Matrix::zeros(rem - b, m_agg + b);
-        let mut v_next = Matrix::zeros(rem - b, m_agg + b);
+        let mut u_next = Matrix::zeros(rem - b, m_agg + kk);
+        let mut v_next = Matrix::zeros(rem - b, m_agg + kk);
         if m_agg > 0 {
             u_next.set_block(0, 0, &u_agg.block(b, 0, rem - b, m_agg));
             v_next.set_block(0, 0, &v_agg.block(b, 0, rem - b, m_agg));
@@ -320,7 +345,7 @@ mod tests {
         let a = gen::symmetric_with_spectrum(&mut rng, &spectrum);
         let (band, trace) = full_to_band(&m, &params, &a, b);
         assert!(band.measured_bandwidth(1e-9) <= b);
-        assert_eq!(trace.panels.len(), n / b - 1);
+        assert_eq!(trace.panels.len(), n.div_ceil(b) - 1);
         let ev = banded_eigenvalues(&band);
         let d = spectrum_distance(&ev, &spectrum);
         assert!(
@@ -353,6 +378,36 @@ mod tests {
     #[test]
     fn wide_band_single_panel() {
         check_reduction(16, 8, 4, 1, 204);
+    }
+
+    #[test]
+    fn ragged_dimension_short_final_panel() {
+        // b ∤ n: the last panel's sub-diagonal block is wide
+        // (rem − b < b) and takes the local-QR fallback.
+        check_reduction(37, 6, 4, 1, 207);
+        check_reduction(50, 8, 8, 2, 208);
+        check_reduction(65, 16, 16, 1, 209);
+    }
+
+    #[test]
+    fn ragged_dimension_odd_and_prime() {
+        check_reduction(29, 4, 4, 1, 217);
+        check_reduction(53, 7, 1, 1, 218);
+    }
+
+    #[test]
+    fn tiny_dimensions_reduce_to_tridiagonal() {
+        // n < 4 forces b = 1 (direct tridiagonalization shape).
+        for (n, seed) in [(2usize, 230u64), (3, 231)] {
+            let m = machine(1);
+            let params = EigenParams::new(1, 1);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let spectrum = gen::linspace_spectrum(n, -1.0, 1.0);
+            let a = gen::symmetric_with_spectrum(&mut rng, &spectrum);
+            let (band, _) = full_to_band(&m, &params, &a, 1);
+            let ev = banded_eigenvalues(&band);
+            assert!(spectrum_distance(&ev, &spectrum) < 1e-9);
+        }
     }
 
     #[test]

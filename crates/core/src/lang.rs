@@ -48,7 +48,7 @@ fn lang_impl(
 
     // 1D redistribution (O(nb/p) words each).
     for &pid in grid.procs() {
-        machine.charge_comm(pid, 2 * (n * (b + 1)) as u64 / p as u64);
+        machine.charge_comm(pid, 2 * ((n * (b + 1)) as u64).div_ceil(p as u64));
     }
     machine.step(grid.procs(), 1);
 

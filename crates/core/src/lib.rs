@@ -40,6 +40,7 @@
 pub mod band_to_band;
 pub mod baselines;
 pub mod ca_sbr;
+pub mod error;
 pub mod full_to_band;
 pub mod lang;
 pub mod model;
@@ -49,11 +50,15 @@ pub mod svd;
 pub mod transforms;
 pub mod tuning;
 
-pub use band_to_band::{band_to_band, band_to_band_logged};
+pub use band_to_band::{band_to_band, band_to_band_to, band_to_band_to_logged};
 pub use ca_sbr::{ca_sbr, ca_sbr_logged};
+pub use error::EigenError;
 pub use full_to_band::{full_to_band, full_to_band_logged, FullToBandTrace};
 pub use lang::lang_band_to_tridiagonal;
 pub use params::EigenParams;
-pub use solver::{symm_eigen_25d, symm_eigen_25d_vectors, StageCosts};
-pub use svd::{singular_values, svd, Svd};
+pub use solver::{
+    symm_eigen_25d, symm_eigen_25d_vectors, try_symm_eigen_25d, try_symm_eigen_25d_vectors,
+    StageCosts,
+};
+pub use svd::{singular_values, svd, try_singular_values, try_svd, Svd};
 pub use transforms::{back_transform, Reflectors, TransformLog};

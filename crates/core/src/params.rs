@@ -6,6 +6,7 @@
 //! parameter is `c` (a small power of two) with `q = √(p/c)`; `δ` is
 //! then implied by `c = p^{2δ−1}`.
 
+use crate::error::EigenError;
 use ca_pla::Grid;
 
 /// Grid/replication parameters for the 2.5D algorithms.
@@ -20,31 +21,63 @@ pub struct EigenParams {
 }
 
 impl EigenParams {
-    /// Build parameters from a processor count and replication factor;
-    /// `p/c` must be a perfect square (`q² = p/c`), mirroring the
-    /// paper's `q × q × c` grid requirement.
-    pub fn new(p: usize, c: usize) -> Self {
-        assert!(c >= 1 && p.is_multiple_of(c), "c must divide p");
+    /// The shared validated constructor behind every public entry
+    /// point: checks `p ≥ 1`, `c | p`, and `p/c` a perfect square, and
+    /// optionally the paper's `c ≤ p^{1/3}` regime.
+    fn validated(p: usize, c: usize, enforce_regime: bool) -> Result<Self, EigenError> {
+        if p == 0 {
+            return Err(EigenError::NoProcessors);
+        }
+        if c == 0 || !p.is_multiple_of(c) {
+            return Err(EigenError::ReplicationMismatch { p, c });
+        }
         let q2 = p / c;
         let q = (q2 as f64).sqrt().round() as usize;
-        assert_eq!(q * q, q2, "p/c = {q2} must be a perfect square");
-        assert!(
-            c * c * c <= p,
-            "c = {c} exceeds the paper's c ≤ p^{{1/3}} regime for p = {p}"
-        );
-        Self { p, q, c }
+        if q * q != q2 {
+            return Err(EigenError::NonSquareGrid { p, c });
+        }
+        if enforce_regime && c * c * c > p {
+            return Err(EigenError::ReplicationOutOfRegime { p, c });
+        }
+        Ok(Self { p, q, c })
     }
 
-    /// Build parameters without enforcing `c ≤ p^{1/3}` — for sweeps
+    /// Build parameters from a processor count and replication factor;
+    /// `p/c` must be a perfect square (`q² = p/c`), mirroring the
+    /// paper's `q × q × c` grid requirement. Rejects invalid
+    /// combinations as a typed [`EigenError`] instead of panicking.
+    pub fn try_new(p: usize, c: usize) -> Result<Self, EigenError> {
+        Self::validated(p, c, true)
+    }
+
+    /// [`Self::try_new`] without enforcing `c ≤ p^{1/3}` — for sweeps
     /// that deliberately leave the paper's regime (e.g. the c-sweep
     /// experiment, which shows communication *rising* again once the
     /// replication cost `n²c/p` overtakes the `√c` streaming saving).
+    pub fn try_new_unchecked(p: usize, c: usize) -> Result<Self, EigenError> {
+        Self::validated(p, c, false)
+    }
+
+    /// Panicking shim over [`Self::try_new`] for callers that treat a
+    /// bad grid as a programming error (tests, examples, benches).
+    pub fn new(p: usize, c: usize) -> Self {
+        Self::try_new(p, c).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Panicking shim over [`Self::try_new_unchecked`].
     pub fn new_unchecked(p: usize, c: usize) -> Self {
-        assert!(c >= 1 && p.is_multiple_of(c), "c must divide p");
-        let q2 = p / c;
-        let q = (q2 as f64).sqrt().round() as usize;
-        assert_eq!(q * q, q2, "p/c = {q2} must be a perfect square");
-        Self { p, q, c }
+        Self::try_new_unchecked(p, c).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Re-check the struct's invariants (fields are public, so a
+    /// hand-rolled value can be inconsistent): used by the solver's
+    /// `Result` entry points before any work is charged.
+    pub fn revalidate(&self) -> Result<(), EigenError> {
+        let checked = Self::validated(self.p, self.c, false)?;
+        if checked.q != self.q {
+            return Err(EigenError::NonSquareGrid { p: self.p, c: self.c });
+        }
+        Ok(())
     }
 
     /// The implied `δ = (1 + log_p c)/2 ∈ [1/2, 2/3]`.
@@ -88,13 +121,15 @@ impl EigenParams {
     }
 
     /// Algorithm IV.3's initial band-width
-    /// `b = n / max(p^{2−3δ}, log₂ p)`, rounded down to a power of two
-    /// and clamped to `[2, n/2]`.
+    /// `b = n / max(p^{2−3δ}, log₂ p)`, clamped to `[2, n/2]` (to `1`
+    /// for `n < 4`, where the only valid band-width is tridiagonal).
+    /// The paper states the schedule for arbitrary `n`; no power-of-two
+    /// snapping is applied.
     pub fn initial_bandwidth(&self, n: usize) -> usize {
         let log_p = (usize::BITS - (self.p.max(2) - 1).leading_zeros()) as usize;
         let denom = self.p_2m3d().max(log_p).max(1);
-        let raw = (n / denom).max(2).min(n / 2);
-        raw.next_power_of_two() >> if raw.is_power_of_two() { 0 } else { 1 }
+        let hi = (n / 2).max(1);
+        (n / denom).clamp(2.min(hi), hi)
     }
 }
 
@@ -131,7 +166,6 @@ mod tests {
         let p = EigenParams::new(16, 1);
         let b = p.initial_bandwidth(256);
         assert!((2..=128).contains(&b));
-        assert!(b.is_power_of_two());
         // δ = 1/2: p^{2−3δ} = p^{1/2} = 4, log₂16 = 4 → b = 256/4 = 64.
         assert_eq!(b, 64);
     }
@@ -162,6 +196,60 @@ mod tests {
                 (params.p_delta() as f64 - analytic).abs() < 1e-9,
                 "p={p} c={c}"
             );
+        }
+    }
+
+    #[test]
+    fn try_new_rejects_bad_grids_with_typed_errors() {
+        use crate::error::EigenError;
+        assert_eq!(EigenParams::try_new(0, 1), Err(EigenError::NoProcessors));
+        assert_eq!(
+            EigenParams::try_new(10, 3),
+            Err(EigenError::ReplicationMismatch { p: 10, c: 3 })
+        );
+        assert_eq!(
+            EigenParams::try_new(24, 2),
+            Err(EigenError::NonSquareGrid { p: 24, c: 2 })
+        );
+        assert_eq!(
+            EigenParams::try_new(16, 4),
+            Err(EigenError::ReplicationOutOfRegime { p: 16, c: 4 })
+        );
+        // new_unchecked admits the out-of-regime case but not the rest.
+        assert!(EigenParams::try_new_unchecked(16, 4).is_ok());
+        assert!(EigenParams::try_new_unchecked(24, 2).is_err());
+    }
+
+    #[test]
+    fn panicking_shims_agree_with_try_constructors() {
+        for (p, c) in [(1usize, 1usize), (4, 1), (8, 2), (64, 4)] {
+            assert_eq!(EigenParams::new(p, c), EigenParams::try_new(p, c).unwrap());
+        }
+        assert_eq!(
+            EigenParams::new_unchecked(16, 4),
+            EigenParams::try_new_unchecked(16, 4).unwrap()
+        );
+    }
+
+    #[test]
+    fn revalidate_catches_inconsistent_fields() {
+        let good = EigenParams::new(16, 1);
+        assert!(good.revalidate().is_ok());
+        let bad = EigenParams { p: 16, q: 3, c: 1 };
+        assert!(bad.revalidate().is_err());
+    }
+
+    #[test]
+    fn initial_bandwidth_handles_arbitrary_n() {
+        let p = EigenParams::new(16, 1);
+        // No power-of-two snapping: n = 300 → 300/4 = 75 exactly.
+        assert_eq!(p.initial_bandwidth(300), 75);
+        for n in [2usize, 3, 5, 7, 48, 65, 100, 129, 200] {
+            let b = p.initial_bandwidth(n);
+            assert!(b >= 1 && b < n, "n={n}: b={b} out of range");
+            if n >= 4 {
+                assert!((2..=n / 2).contains(&b), "n={n}: b={b}");
+            }
         }
     }
 

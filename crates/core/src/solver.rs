@@ -3,9 +3,11 @@
 //! Composition (with `δ` implied by the replication factor `c`):
 //!
 //! 1. `B ← 2.5D-Full-to-Band(A)` at `b = n / max(p^{2−3δ}, log₂ p)`;
-//! 2. while `b > n/pᵟ`: `B ← 2.5D-Band-to-Band(B, k = 2)` on a shrinking
-//!    processor prefix `Π[1 : p/k^{iζ}]`, `ζ = (1−δ)/δ` — chosen so the
-//!    per-stage `β·n·b/pᵟ` term stays constant across stages;
+//! 2. while `b > n/pᵟ`: `B ← 2.5D-Band-to-Band(B)` halvings on a
+//!    shrinking processor prefix `Π[1 : p/k^{iζ}]`, `ζ = (1−δ)/δ` —
+//!    chosen so the per-stage `β·n·b/pᵟ` term stays constant across
+//!    stages; the final pass reduces straight to `n/pᵟ` (ratio `< 4`)
+//!    instead of overshooting it;
 //! 3. while `b > n/p`: CA-SBR halvings on `pᵟ` processors;
 //! 4. gather the `n/p`-band matrix on one processor and compute its
 //!    eigenvalues sequentially.
@@ -13,8 +15,8 @@
 //! Every stage's `F/W/Q/S` delta is recorded in [`StageCosts`], which is
 //! what the Table-I harness prints.
 
-use crate::band_to_band::band_to_band;
 use crate::ca_sbr::ca_sbr;
+use crate::error::EigenError;
 use crate::full_to_band::full_to_band;
 use crate::params::EigenParams;
 use ca_bsp::{Costs, Machine};
@@ -75,8 +77,21 @@ pub fn symm_eigen_25d(
     params: &EigenParams,
     a: &Matrix,
 ) -> (Vec<f64>, StageCosts) {
+    try_symm_eigen_25d(machine, params, a).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`symm_eigen_25d`] with typed input validation: malformed requests
+/// (non-square or asymmetric `a`, `n < 2`, inconsistent grid
+/// parameters) come back as `Err(EigenError)` instead of aborting the
+/// process — the entry point a serving layer should call.
+pub fn try_symm_eigen_25d(
+    machine: &Machine,
+    params: &EigenParams,
+    a: &Matrix,
+) -> Result<(Vec<f64>, StageCosts), EigenError> {
+    validate_input(params, a)?;
     let (ev, costs, _) = solve_impl(machine, params, a, false);
-    (ev, costs)
+    Ok((ev, costs))
 }
 
 /// Eigenvalues *and eigenvectors*: the §IV.C extension. Records every
@@ -90,8 +105,42 @@ pub fn symm_eigen_25d_vectors(
     params: &EigenParams,
     a: &Matrix,
 ) -> (Vec<f64>, Matrix, StageCosts) {
+    try_symm_eigen_25d_vectors(machine, params, a).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`symm_eigen_25d_vectors`] with typed input validation (see
+/// [`try_symm_eigen_25d`]).
+pub fn try_symm_eigen_25d_vectors(
+    machine: &Machine,
+    params: &EigenParams,
+    a: &Matrix,
+) -> Result<(Vec<f64>, Matrix, StageCosts), EigenError> {
+    validate_input(params, a)?;
     let (ev, costs, v) = solve_impl(machine, params, a, true);
-    (ev, v.expect("vectors requested"), costs)
+    Ok((ev, v.expect("vectors requested"), costs))
+}
+
+/// Shared request validation for the `Result` entry points: grid
+/// invariants, squareness, minimum size, symmetry. Runs before any
+/// cost is charged, so a rejected request leaves the ledger untouched.
+fn validate_input(params: &EigenParams, a: &Matrix) -> Result<(), EigenError> {
+    params.revalidate()?;
+    if a.rows() != a.cols() {
+        return Err(EigenError::NonSquareInput {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    if a.rows() < 2 {
+        return Err(EigenError::TooSmall { n: a.rows() });
+    }
+    let scale = a.norm_max().max(1.0);
+    if a.asymmetry() >= 1e-10 * scale {
+        return Err(EigenError::AsymmetricInput {
+            asymmetry: a.asymmetry() / scale,
+        });
+    }
+    Ok(())
 }
 
 fn solve_impl(
@@ -101,7 +150,6 @@ fn solve_impl(
     want_vectors: bool,
 ) -> (Vec<f64>, StageCosts, Option<Matrix>) {
     let n = a.rows();
-    assert!(n.is_power_of_two(), "solver expects power-of-two n (got {n})");
     let p = params.p;
     let mut costs = StageCosts::default();
 
@@ -123,9 +171,11 @@ fn solve_impl(
     };
     costs.push(&format!("full-to-band (b={b0})"), machine.costs_since(&snap));
 
-    // Stage 2: successive k = 2 band reductions on shrinking prefixes
-    // until b ≤ n/pᵟ.
-    let target_mid = (n / params.p_delta().max(1)).max(2).next_power_of_two();
+    // Stage 2: successive band reductions on shrinking prefixes until
+    // b ≤ n/pᵟ. Arbitrary n: the target is the exact ceiling division
+    // (no power-of-two snapping), intermediate band-widths may be odd,
+    // and the generalized chase plan reduces to any explicit target.
+    let target_mid = n.div_ceil(params.p_delta().max(1)).max(2);
     let zeta = {
         let d = params.delta();
         (1.0 - d) / d
@@ -135,32 +185,58 @@ fn solve_impl(
         let shrink = 2f64.powf(zeta * stage as f64);
         let active = ((p as f64 / shrink).round() as usize).clamp(1, p);
         let grid = Grid::all(p).prefix(active);
-        // Gather B onto the active prefix (line 6).
-        coll::gather(machine, &Grid::all(p), 0, (n * (band.bandwidth() + 1)) as u64 / p as u64);
-        let v_mem = params.p_2m3d();
+        // Halve — unless a plain halving would overshoot `n/pᵟ`, in
+        // which case this pass reduces straight to the target (ratio in
+        // `[2, 4)`). For arbitrary `n` the chain `b₀ → ⌈b₀/2⌉ → …`
+        // rarely lands on `n/pᵟ` exactly, and splitting the tail into
+        // two passes pays the chain's most expensive step twice: a
+        // pass's per-processor traffic is `O(n²/p̂) = O(n³/(p·b))`,
+        // growing as `b` shrinks, and is nearly independent of how far
+        // the pass reduces.
+        let bw = band.bandwidth();
+        let target = if bw.div_ceil(4) >= target_mid {
+            bw.div_ceil(2)
+        } else {
+            target_mid
+        };
+        // Gather B onto the active prefix (line 6). Ceiling division:
+        // the straggler holding the ragged remainder sets the cost.
+        // Inside the stage snapshot, so the stage records cover the
+        // ledger exactly.
         let snap = machine.snapshot();
+        coll::gather(
+            machine,
+            &Grid::all(p),
+            0,
+            ((n * (band.bandwidth() + 1)) as u64).div_ceil(p as u64),
+        );
+        let v_mem = params.p_2m3d();
         let (next, _) = if want_vectors {
-            crate::band_to_band::band_to_band_logged(
+            crate::band_to_band::band_to_band_to_logged(
                 machine,
                 &grid,
                 &band,
-                2,
+                target,
                 v_mem,
                 log.stage(&format!("band-to-band (b={})", band.bandwidth())),
             )
         } else {
-            band_to_band(machine, &grid, &band, 2, v_mem)
+            crate::band_to_band::band_to_band_to(machine, &grid, &band, target, v_mem)
         };
         costs.push(
-            &format!("band-to-band (b={}→{}, p̄={active})", band.bandwidth(), band.bandwidth() / 2),
+            &format!(
+                "band-to-band (b={}→{target}, p̄={active})",
+                band.bandwidth()
+            ),
             machine.costs_since(&snap),
         );
         band = next;
         stage += 1;
     }
 
-    // Stage 3: CA-SBR halvings on pᵟ processors until b ≤ n/p.
-    let target_low = (n / p).max(1);
+    // Stage 3: CA-SBR halvings (b → ⌈b/2⌉) on pᵟ processors until
+    // b ≤ ⌈n/p⌉.
+    let target_low = n.div_ceil(p).max(1);
     let sbr_procs = params.p_delta().clamp(1, p);
     let sbr_grid = Grid::all(p).prefix(sbr_procs);
     while band.bandwidth() > target_low && band.bandwidth() >= 2 {
@@ -176,7 +252,11 @@ fn solve_impl(
             ca_sbr(machine, &sbr_grid, &band)
         };
         costs.push(
-            &format!("ca-sbr (b={}→{})", band.bandwidth(), band.bandwidth() / 2),
+            &format!(
+                "ca-sbr (b={}→{})",
+                band.bandwidth(),
+                band.bandwidth().div_ceil(2)
+            ),
             machine.costs_since(&snap),
         );
         band = next;
@@ -185,7 +265,12 @@ fn solve_impl(
     // Stage 4: gather and solve sequentially (line 11).
     let snap = machine.snapshot();
     let bw = band.bandwidth();
-    coll::gather(machine, &Grid::all(p), 0, (n * (bw + 1)) as u64 / p as u64);
+    coll::gather(
+        machine,
+        &Grid::all(p),
+        0,
+        ((n * (bw + 1)) as u64).div_ceil(p as u64),
+    );
     // Sequential band → tridiagonal + QL (charged to processor 0).
     machine.charge_flops(
         machine_proc0(),
@@ -222,7 +307,7 @@ fn solve_impl(
     };
     let (d, e) = work.tridiagonal();
     let (ev, z) = ca_dla::tridiag::tridiag_eigen(&d, &e);
-    machine.charge_flops(machine_proc0(), 6 * (n as u64).pow(3) / p as u64);
+    machine.charge_flops(machine_proc0(), (6 * (n as u64).pow(3)).div_ceil(p as u64));
     machine.fence();
     costs.push("sequential eigensolve", machine.costs_since(&snap));
 

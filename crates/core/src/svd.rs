@@ -20,8 +20,9 @@
 //! machinery, exact singular values (no `AᵀA` squaring of the condition
 //! number).
 
+use crate::error::EigenError;
 use crate::params::EigenParams;
-use crate::solver::{symm_eigen_25d, symm_eigen_25d_vectors, StageCosts};
+use crate::solver::{try_symm_eigen_25d, try_symm_eigen_25d_vectors, StageCosts};
 use ca_bsp::Machine;
 use ca_dla::Matrix;
 
@@ -36,12 +37,13 @@ pub struct Svd {
     pub v: Matrix,
 }
 
-/// Build the Jordan–Wielandt matrix `[0, Aᵀ; A, 0]`, zero-padded to the
-/// next power of two (the solver's size requirement); the padding adds
-/// exact zero eigenvalues that are skipped on extraction.
-fn jordan_wielandt_padded(a: &Matrix) -> (Matrix, usize) {
+/// Build the Jordan–Wielandt matrix `[0, Aᵀ; A, 0]` at its exact order
+/// `m + n` — the solver accepts arbitrary dimensions, so no
+/// power-of-two padding (which inflated the embedded problem by up to
+/// ~8× in work) is needed.
+fn jordan_wielandt(a: &Matrix) -> (Matrix, usize) {
     let (m, n) = (a.rows(), a.cols());
-    let dim = (m + n).next_power_of_two();
+    let dim = m + n;
     let mut j = Matrix::zeros(dim, dim);
     for i in 0..m {
         for c in 0..n {
@@ -59,9 +61,19 @@ pub fn singular_values(
     params: &EigenParams,
     a: &Matrix,
 ) -> (Vec<f64>, StageCosts) {
+    try_singular_values(machine, params, a).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`singular_values`] with typed input validation (see
+/// [`crate::solver::try_symm_eigen_25d`]).
+pub fn try_singular_values(
+    machine: &Machine,
+    params: &EigenParams,
+    a: &Matrix,
+) -> Result<(Vec<f64>, StageCosts), EigenError> {
     let k = a.rows().min(a.cols());
-    let (j, _) = jordan_wielandt_padded(a);
-    let (ev, costs) = symm_eigen_25d(machine, params, &j);
+    let (j, _) = jordan_wielandt(a);
+    let (ev, costs) = try_symm_eigen_25d(machine, params, &j)?;
     // The top-k eigenvalues are +σ, descending once reversed.
     let mut sigma: Vec<f64> = ev.iter().rev().take(k).map(|l| l.max(0.0)).collect();
     // Guard against −0.0 noise on rank-deficient inputs.
@@ -70,16 +82,26 @@ pub fn singular_values(
             *s = 0.0;
         }
     }
-    (sigma, costs)
+    Ok((sigma, costs))
 }
 
 /// Full thin SVD via the eigenvector extension: the top-`k`
 /// eigenvectors of the embedding are `(vᵢ, uᵢ)/√2`.
 pub fn svd(machine: &Machine, params: &EigenParams, a: &Matrix) -> (Svd, StageCosts) {
+    try_svd(machine, params, a).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`svd`] with typed input validation (see
+/// [`crate::solver::try_symm_eigen_25d`]).
+pub fn try_svd(
+    machine: &Machine,
+    params: &EigenParams,
+    a: &Matrix,
+) -> Result<(Svd, StageCosts), EigenError> {
     let (m, n) = (a.rows(), a.cols());
     let k = m.min(n);
-    let (j, dim) = jordan_wielandt_padded(a);
-    let (ev, vecs, costs) = symm_eigen_25d_vectors(machine, params, &j);
+    let (j, dim) = jordan_wielandt(a);
+    let (ev, vecs, costs) = try_symm_eigen_25d_vectors(machine, params, &j)?;
 
     let mut sigma = Vec::with_capacity(k);
     let mut u = Matrix::zeros(m, k);
@@ -107,7 +129,7 @@ pub fn svd(machine: &Machine, params: &EigenParams, a: &Matrix) -> (Svd, StageCo
         orthonormalize_column(&mut u, idx);
         orthonormalize_column(&mut v, idx);
     }
-    (Svd { sigma, u, v }, costs)
+    Ok((Svd { sigma, u, v }, costs))
 }
 
 /// Modified Gram–Schmidt of column `idx` against columns `0..idx`,

@@ -96,9 +96,9 @@ pub fn back_transform(machine: &Machine, grid: &Grid, log: &TransformLog, z: &Ma
             for &pid in grid.procs() {
                 machine.charge_flops(
                     pid,
-                    ca_dla::costs::apply_q_flops(rows, k, ncols) / p,
+                    ca_dla::costs::apply_q_flops(rows, k, ncols).div_ceil(p),
                 );
-                machine.charge_vert(pid, (rows * ncols) as u64 / p + words);
+                machine.charge_vert(pid, ((rows * ncols) as u64).div_ceil(p) + words);
             }
 
             // X[rows] ← (I − U·T·Uᵀ)·X[rows].

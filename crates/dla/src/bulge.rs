@@ -75,15 +75,26 @@ impl ChaseOp {
 }
 
 /// Enumerate every chase operation for reducing bandwidth `b` to
-/// `h = b/k` on an `n × n` symmetric band matrix, in the sequential
+/// `h = ⌈b/k⌉` on an `n × n` symmetric band matrix, in the sequential
 /// (dependency-respecting) order `i`-then-`j` of Algorithm IV.2.
 ///
-/// Requirements mirror the paper's: `h ≥ 1`, `b ≤ n`, `b % h == 0`.
+/// The paper states the algorithm for `b mod k ≡ 0`; the plan is well
+/// defined for any target (strip width `h`, chase step `b`), so
+/// non-dividing `k` rounds the target up to `⌈b/k⌉` instead of
+/// rejecting the input — what the arbitrary-`n` bandwidth schedules
+/// need when halving odd band-widths.
 pub fn chase_plan(n: usize, b: usize, k: usize) -> Vec<ChaseOp> {
     assert!(k >= 1 && b >= k, "need 1 ≤ k ≤ b");
-    assert!(b.is_multiple_of(k), "k must divide b (paper: b mod k ≡ 0)");
+    chase_plan_to(n, b, b.div_ceil(k))
+}
+
+/// [`chase_plan`] with the target band-width `h` given directly
+/// (`1 ≤ h ≤ b < n`): sweep `i` eliminates the `h`-column strip
+/// `[(i−1)h, ih)` and chases the resulting bulge in steps of `b`. `h`
+/// need not divide `b`.
+pub fn chase_plan_to(n: usize, b: usize, h: usize) -> Vec<ChaseOp> {
+    assert!(h >= 1 && h <= b, "need 1 ≤ h ≤ b (got h={h}, b={b})");
     assert!(b < n, "bandwidth must be below the matrix dimension");
-    let h = b / k;
     let mut ops = Vec::new();
     if h == b {
         return ops; // already at target bandwidth
@@ -212,9 +223,16 @@ pub fn execute_chase_recording(bmat: &mut BandedSym, op: &ChaseOp) -> (Matrix, M
 }
 
 /// Sequentially reduce a symmetric banded matrix from bandwidth `b` to
-/// `b/k` (Algorithm IV.2 executed on one processor). The matrix's fill
-/// capacity must be at least `min(n−1, 2b)`.
+/// `⌈b/k⌉` (Algorithm IV.2 executed on one processor). The matrix's
+/// fill capacity must be at least `min(n−1, 2b)`.
 pub fn reduce_band(bmat: &mut BandedSym, k: usize) {
+    reduce_band_to(bmat, bmat.bandwidth().div_ceil(k));
+}
+
+/// Sequentially reduce a symmetric banded matrix to the explicit target
+/// bandwidth `h` (`1 ≤ h ≤ b`); `h` need not divide the current
+/// bandwidth.
+pub fn reduce_band_to(bmat: &mut BandedSym, h: usize) {
     let n = bmat.n();
     let b = bmat.bandwidth();
     assert!(
@@ -223,10 +241,10 @@ pub fn reduce_band(bmat: &mut BandedSym, k: usize) {
         bmat.capacity(),
         b
     );
-    for op in chase_plan(n, b, k) {
+    for op in chase_plan_to(n, b, h) {
         execute_chase(bmat, &op);
     }
-    bmat.set_bandwidth(b / k);
+    bmat.set_bandwidth(h);
 }
 
 #[cfg(test)]
@@ -271,9 +289,56 @@ mod tests {
         );
     }
 
+    fn check_reduction_to(n: usize, b: usize, h: usize, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dense = gen::random_banded(&mut rng, n, b);
+        let (t0, f0, m0) = moments(&dense);
+        let cap = (2 * b).min(n - 1);
+        let mut bm = BandedSym::from_dense(&dense, b, cap);
+        reduce_band_to(&mut bm, h);
+        assert!(
+            bm.measured_bandwidth(1e-10) <= h,
+            "n={n} b={b} h={h}: bandwidth {} > target {h}",
+            bm.measured_bandwidth(1e-10)
+        );
+        let out = bm.to_dense();
+        let (t1, f1, m1) = moments(&out);
+        let scale = f0.max(1.0);
+        assert!((t0 - t1).abs() < 1e-9 * scale, "trace drifted: {t0} vs {t1}");
+        assert!((f0 - f1).abs() < 1e-9 * scale, "‖A‖_F drifted: {f0} vs {f1}");
+        assert!(
+            (m0 - m1).abs() < 1e-7 * scale.powi(3),
+            "tr(A³) drifted: {m0} vs {m1}"
+        );
+    }
+
     #[test]
     fn halve_small_band() {
         check_reduction(32, 4, 2, 40);
+    }
+
+    #[test]
+    fn non_dividing_target_bandwidth() {
+        // h ∤ b: what the arbitrary-n schedules produce when halving odd
+        // band-widths (b → ⌈b/2⌉) or trimming clamped ones.
+        for (n, b, h, seed) in [
+            (33usize, 7usize, 4usize, 50u64),
+            (41, 5, 3, 51),
+            (29, 9, 5, 52),
+            (37, 3, 2, 53),
+            (40, 6, 4, 54),
+            (23, 11, 3, 55),
+        ] {
+            check_reduction_to(n, b, h, seed);
+        }
+    }
+
+    #[test]
+    fn rounding_k_matches_explicit_target() {
+        // chase_plan with k ∤ b rounds the target up to ⌈b/k⌉.
+        let plan_k = chase_plan(35, 7, 2);
+        let plan_h = chase_plan_to(35, 7, 4);
+        assert_eq!(plan_k, plan_h);
     }
 
     #[test]

@@ -42,7 +42,7 @@ use ca_dla::Matrix;
 pub fn carma(m: &Machine, group: &Grid, a: &Matrix, b: &Matrix, v: usize) -> Matrix {
     let (mm, kk) = (a.rows(), a.cols());
     let nn = b.cols();
-    let entry = ((mm * kk + kk * nn + mm * nn) / group.len()) as u64;
+    let entry = ((mm * kk + kk * nn + mm * nn) as u64).div_ceil(group.len() as u64);
     for &pid in group.procs() {
         m.charge_comm(pid, entry);
     }

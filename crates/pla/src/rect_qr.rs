@@ -276,7 +276,7 @@ pub fn apply_qt(machine: &Machine, f: &PanelQr, c: &mut DistMatrix) {
     let mut out = c_dense;
     out.axpy(-1.0, &upd);
     for &pid in group.procs() {
-        machine.charge_flops(pid, out.len() as u64 / group.len() as u64);
+        machine.charge_flops(pid, (out.len() as u64).div_ceil(group.len() as u64));
     }
     *c = DistMatrix::from_dense_free(machine, c.grid(), &out);
 }

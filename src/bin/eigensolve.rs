@@ -7,7 +7,7 @@
 //!   eigensolve [OPTIONS]
 //!
 //! OPTIONS:
-//!   --n <N>            matrix dimension (power of two; default 128)
+//!   --n <N>            matrix dimension (any n ≥ 2; default 128)
 //!   --p <P>            virtual processors (default 16)
 //!   --c <C>            replication factor (default 1; p/c must be square)
 //!   --input <FILE>     read a dense symmetric matrix (CSV rows) instead
@@ -26,7 +26,7 @@ use ca_symm_eig::bsp::{Machine, MachineParams};
 use ca_symm_eig::dla::gemm::{matmul, Trans};
 use ca_symm_eig::dla::{gen, Matrix};
 use ca_symm_eig::eigen::baselines::{elpa_two_stage, scalapack::scalapack_eigenvalues};
-use ca_symm_eig::eigen::{symm_eigen_25d, symm_eigen_25d_vectors, EigenParams};
+use ca_symm_eig::eigen::{try_symm_eigen_25d, try_symm_eigen_25d_vectors, EigenParams};
 use ca_symm_eig::pla::grid::Grid;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -79,9 +79,19 @@ fn main() {
     let mut residual = None;
     let eigenvalues = match algorithm.as_str() {
         "2.5d" => {
-            let params = EigenParams::new(p, c);
+            // The typed-error entry points: a bad grid or input prints
+            // a one-line diagnostic instead of a panic backtrace.
+            let params = EigenParams::try_new(p, c).unwrap_or_else(|e| {
+                eprintln!("eigensolve: {e}");
+                std::process::exit(2);
+            });
+            let reject = |e: ca_symm_eig::eigen::EigenError| -> ! {
+                eprintln!("eigensolve: {e}");
+                std::process::exit(2)
+            };
             if want_vectors {
-                let (ev, v, _) = symm_eigen_25d_vectors(&machine, &params, &a);
+                let (ev, v, _) = try_symm_eigen_25d_vectors(&machine, &params, &a)
+                    .unwrap_or_else(|e| reject(e));
                 // Residual ‖A·V − V·Λ‖_max.
                 let av = matmul(&a, Trans::N, &v, Trans::N);
                 let mut vl = v.clone();
@@ -93,7 +103,9 @@ fn main() {
                 residual = Some(av.max_diff(&vl));
                 ev
             } else {
-                symm_eigen_25d(&machine, &params, &a).0
+                try_symm_eigen_25d(&machine, &params, &a)
+                    .unwrap_or_else(|e| reject(e))
+                    .0
             }
         }
         "scalapack" => scalapack_eigenvalues(&machine, &Grid::all(p).squarest_2d(), &a),

@@ -22,20 +22,24 @@ fn full_to_band_rejects_asymmetric_input() {
 }
 
 #[test]
-#[should_panic(expected = "must divide n")]
-fn full_to_band_rejects_nondividing_bandwidth() {
+#[should_panic(expected = "1 ≤ b < n")]
+fn full_to_band_rejects_overwide_bandwidth() {
+    // Non-dividing band-widths are legal now (arbitrary n); b ≥ n is
+    // still nonsense.
     let m = machine(4);
     let mut a = Matrix::from_fn(16, 16, |i, j| ((i + j) as f64).sin());
     a.symmetrize();
-    let _ = ca_symm_eig::eigen::full_to_band(&m, &EigenParams::new(4, 1), &a, 5);
+    let _ = ca_symm_eig::eigen::full_to_band(&m, &EigenParams::new(4, 1), &a, 16);
 }
 
 #[test]
-#[should_panic(expected = "k must divide")]
+#[should_panic(expected = "1 ≤ k ≤ band-width")]
 fn band_to_band_rejects_bad_k() {
+    // k need not divide b any more (targets round up), but k > b is
+    // still rejected.
     let m = machine(2);
     let b = BandedSym::zeros(16, 6, 6);
-    let _ = ca_symm_eig::eigen::band_to_band(&m, &Grid::all(2), &b, 4, 1);
+    let _ = ca_symm_eig::eigen::band_to_band(&m, &Grid::all(2), &b, 7, 1);
 }
 
 #[test]
@@ -51,12 +55,44 @@ fn params_reject_non_square_layer() {
 }
 
 #[test]
-#[should_panic(expected = "power-of-two")]
-fn solver_rejects_odd_sizes() {
+#[should_panic(expected = "at least 2")]
+fn solver_rejects_degenerate_sizes() {
+    // Arbitrary n ≥ 2 is supported now (n = 24 solves fine); n < 2 is
+    // still rejected.
     let m = machine(4);
-    let mut a = Matrix::from_fn(24, 24, |i, j| ((i * j) as f64).cos());
-    a.symmetrize();
+    let a = Matrix::from_fn(1, 1, |_, _| 3.0);
     let _ = ca_symm_eig::eigen::symm_eigen_25d(&m, &EigenParams::new(4, 1), &a);
+}
+
+#[test]
+fn solver_surfaces_invalid_inputs_as_typed_errors() {
+    use ca_symm_eig::eigen::{try_symm_eigen_25d, EigenError};
+    let m = machine(4);
+    let params = EigenParams::new(4, 1);
+    // Non-square input.
+    let rect = Matrix::zeros(4, 6);
+    assert!(matches!(
+        try_symm_eigen_25d(&m, &params, &rect),
+        Err(EigenError::NonSquareInput { rows: 4, cols: 6 })
+    ));
+    // Asymmetric input.
+    let askew = Matrix::from_fn(8, 8, |i, j| (i * 8 + j) as f64);
+    assert!(matches!(
+        try_symm_eigen_25d(&m, &params, &askew),
+        Err(EigenError::AsymmetricInput { .. })
+    ));
+    // Inconsistent hand-rolled grid parameters.
+    let mut bad = EigenParams::new(4, 1);
+    bad.q = 3;
+    let mut a = Matrix::from_fn(8, 8, |i, j| ((i + j) as f64).sin());
+    a.symmetrize();
+    assert!(matches!(
+        try_symm_eigen_25d(&m, &bad, &a),
+        Err(EigenError::NonSquareGrid { .. })
+    ));
+    // Nothing was charged to the ledger by a rejected request.
+    assert_eq!(m.report().horizontal_words, 0);
+    assert_eq!(m.report().supersteps, 0);
 }
 
 #[test]
