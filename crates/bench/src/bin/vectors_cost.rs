@@ -62,7 +62,7 @@ fn main() {
         let bt = costs1
             .stages
             .iter()
-            .find(|(name, _)| name.starts_with("back-transformation"))
+            .find(|s| s.name.starts_with("back-transformation"))
             .expect("back-transformation stage");
         // Reduction stages = everything before the sequential solve.
         let stage_count = costs1.stages.len().saturating_sub(2);
@@ -72,9 +72,9 @@ fn main() {
             p,
             c,
             stages: stage_count,
-            backtransform_flops: bt.1.flops,
-            backtransform_total_flops: bt.1.total_flops,
-            backtransform_words: bt.1.horizontal_words,
+            backtransform_flops: bt.costs.flops,
+            backtransform_total_flops: bt.costs.total_flops,
+            backtransform_words: bt.costs.horizontal_words,
             eigenvalue_only_flops: f0,
             vectors_total_flops: costs1.total().flops,
         };

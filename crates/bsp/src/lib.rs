@@ -33,7 +33,7 @@ mod costs;
 mod machine;
 mod params;
 
-pub use costs::{BspTime, CostSnapshot, Costs};
+pub use costs::{BspTime, CostSnapshot, Costs, StageRecord};
 pub use machine::{Machine, PhaseRecord, ProcId};
 pub use params::MachineParams;
 

@@ -282,6 +282,27 @@ impl Machine {
         self.report().since(&snap.report)
     }
 
+    /// Run `f` and return its result together with the costs the ledger
+    /// accumulated while it ran — the snapshot/diff pattern as a scoped
+    /// helper. Like [`Machine::report`], both ends of the measurement
+    /// fold the ledger, so call from quiescent points only.
+    pub fn measure<R>(&self, f: impl FnOnce() -> R) -> (R, Costs) {
+        let snap = self.snapshot();
+        let out = f();
+        (out, self.costs_since(&snap))
+    }
+
+    /// [`Machine::measure`] with a stage tag: returns the closure's
+    /// result and a named [`StageRecord`] ready for a per-stage ledger.
+    pub fn measure_stage<R>(
+        &self,
+        name: impl Into<String>,
+        f: impl FnOnce() -> R,
+    ) -> (R, crate::StageRecord) {
+        let (out, costs) = self.measure(f);
+        (out, crate::StageRecord::new(name, costs))
+    }
+
     /// Per-processor cumulative horizontal words (diagnostics / load
     /// balance inspection).
     pub fn comm_per_proc(&self) -> Vec<u64> {

@@ -1,0 +1,388 @@
+//! The claims table: every scaling law the harness asserts, with the
+//! paper reference, the asymptotic exponent, and a *documented*
+//! tolerance.
+//!
+//! Tolerances are calibrated, not wished for. The fitted exponent of a
+//! finite sweep differs from the asymptotic one because the lemmas'
+//! bounds carry lower-order terms (latency `log p` factors, per-stage
+//! setup, the `mn/p` additive term of Theorem III.6) that do not vanish
+//! on an `n ≤ 192`, `p ≤ 64` window. Each claim's `note` records which
+//! term dominates the deviation; the tolerance is set to roughly twice
+//! the deviation observed at calibration time, so a *regression* (an
+//! accounting bug that changes the scaling class, e.g. `W` going from
+//! `n²/pᵟ` to `n²/√p`-less) trips the assertion while normal finite-size
+//! wobble does not. The model-implied window exponent (same fit applied
+//! to [`ca_eigen::model`] closed forms over the same points) is emitted
+//! alongside as a diagnostic baseline.
+
+use crate::sweep::{Point, Quantity, Stage};
+
+/// One asserted power-law claim: the fitted exponent of `quantity` in
+/// `variable` over `points` must land within `tol` of `paper`.
+#[derive(Debug, Clone)]
+pub struct ExponentClaim {
+    /// Stable id, `<stage>.<quantity>.<variable>`.
+    pub id: &'static str,
+    /// Stage under test.
+    pub stage: Stage,
+    /// Metered quantity being fitted.
+    pub quantity: Quantity,
+    /// The swept variable: `"n"`, `"p"` or `"c"`.
+    pub variable: &'static str,
+    /// The paper's asymptotic exponent.
+    pub paper: f64,
+    /// Documented tolerance on `|fitted − paper|`.
+    pub tol: f64,
+    /// Paper reference (lemma/theorem) for the exponent.
+    pub reference: &'static str,
+    /// Why the tolerance is what it is (which lower-order term bends
+    /// the finite-size fit, and in which direction).
+    pub note: &'static str,
+    /// Full sweep grid.
+    pub points: Vec<Point>,
+    /// Reduced sweep used by `--quick` and the CI tier-2 job.
+    pub quick_points: Vec<Point>,
+}
+
+impl ExponentClaim {
+    /// Value of the swept variable at `pt` (the fit's x-axis).
+    pub fn x_of(&self, pt: &Point) -> f64 {
+        match self.variable {
+            "n" => pt.n as f64,
+            "p" => pt.p as f64,
+            "c" => pt.c as f64,
+            other => unreachable!("unknown sweep variable {other}"),
+        }
+    }
+}
+
+/// A replication-gain claim: `W(c=1)/W(c=c_hi)` at fixed `(n, p)` must
+/// land inside `[lo, hi]`, bracketing the paper's `√c` prediction.
+#[derive(Debug, Clone)]
+pub struct GainClaim {
+    /// Stable id, `<stage>.gain.c<child>`.
+    pub id: &'static str,
+    /// Stage under test.
+    pub stage: Stage,
+    /// Matrix dimension.
+    pub n: usize,
+    /// Processor count.
+    pub p: usize,
+    /// Replication factor of the replicated run.
+    pub c_hi: usize,
+    /// The paper's predicted gain, `√c_hi`.
+    pub expected: f64,
+    /// Documented lower bound on the measured gain.
+    pub lo: f64,
+    /// Documented upper bound on the measured gain.
+    pub hi: f64,
+    /// Paper reference for the √c saving.
+    pub reference: &'static str,
+    /// Why the band is what it is.
+    pub note: &'static str,
+}
+
+fn n_sweep(p: usize, c: usize, ns: &[usize]) -> Vec<Point> {
+    ns.iter().map(|&n| Point::new(n, p, c)).collect()
+}
+
+fn p_sweep(n: usize, c: usize, ps: &[usize]) -> Vec<Point> {
+    ps.iter().map(|&p| Point::new(n, p, c)).collect()
+}
+
+/// The asserted exponent claims. Covers all six stages; the
+/// acceptance-critical entries are `solver.W.p` (the headline
+/// `W = O(n²/pᵟ)` in `p`) and the [`gain_claims`] `√c` rows.
+pub fn exponent_claims() -> Vec<ExponentClaim> {
+    let ns: &[usize] = &[64, 96, 128, 192];
+    let ns_quick: &[usize] = &[64, 128];
+    // p/c must leave a square per-layer grid: 4, 16, 36, 64 at c = 1.
+    let ps: &[usize] = &[4, 16, 36, 64];
+    let ps_quick: &[usize] = &[16, 64];
+    vec![
+        // ——— Streaming-MM (Algorithm III.1, Lemma III.3) ———
+        ExponentClaim {
+            id: "streaming-mm.W.n",
+            stage: Stage::StreamingMm,
+            quantity: Quantity::W,
+            variable: "n",
+            paper: 1.0,
+            tol: 0.25,
+            reference: "Lemma III.3: W = O((mk + nk)/p^δ), k fixed",
+            note: "k is held fixed, so W is linear in n; the broadcast \
+                   of B and reduce-scatter of C add O(k·q) per-step terms \
+                   that fade as n grows.",
+            points: n_sweep(16, 1, ns),
+            quick_points: n_sweep(16, 1, ns_quick),
+        },
+        ExponentClaim {
+            id: "streaming-mm.F.n",
+            stage: Stage::StreamingMm,
+            quantity: Quantity::F,
+            variable: "n",
+            paper: 2.0,
+            tol: 0.15,
+            reference: "Lemma III.3: F = O(mnk/p), k fixed",
+            note: "Pure GEMM flops; the per-superstep-max metering adds \
+                   only block-roundoff wobble.",
+            points: n_sweep(16, 1, ns),
+            quick_points: n_sweep(16, 1, ns_quick),
+        },
+        ExponentClaim {
+            id: "streaming-mm.W.p",
+            stage: Stage::StreamingMm,
+            quantity: Quantity::W,
+            variable: "p",
+            paper: -0.5,
+            tol: 0.2,
+            reference: "Lemma III.3: W = O(n·k/p^δ), δ = 1/2 at c = 1",
+            note: "At c = 1, p^δ = √p exactly; the measured −0.42 \
+                   deviation comes from ceil-divided block sizes at \
+                   p = 64 on n = 128.",
+            points: p_sweep(128, 1, ps),
+            quick_points: p_sweep(128, 1, ps_quick),
+        },
+        // ——— Rectangular QR (Theorem III.6) ———
+        ExponentClaim {
+            id: "rect-qr.F.n",
+            stage: Stage::RectQr,
+            quantity: Quantity::F,
+            variable: "n",
+            paper: 3.0,
+            tol: 0.3,
+            reference: "Theorem III.6: F = O(mn²/p), m = 4n",
+            note: "Panel aspect is fixed (m = 4n), so flops are cubic in \
+                   the panel width; the TSQR tree adds O(n³ log p) \
+                   butterfly terms with small constants.",
+            points: n_sweep(4, 1, &[32, 48, 64, 96]),
+            quick_points: n_sweep(4, 1, &[32, 64]),
+        },
+        ExponentClaim {
+            id: "rect-qr.W.n",
+            stage: Stage::RectQr,
+            quantity: Quantity::W,
+            variable: "n",
+            paper: 2.0,
+            tol: 0.3,
+            reference: "Theorem III.6: W = O(m^δ n^{2−δ}/p^δ + mn/p), m = 4n",
+            note: "Both terms are Θ(n²) once m ∝ n; the log p tree \
+                   factor is n-independent and drops out of the fit.",
+            points: n_sweep(4, 1, &[32, 48, 64, 96]),
+            quick_points: n_sweep(4, 1, &[32, 64]),
+        },
+        // ——— Full-to-band (Algorithm IV.1, Lemma IV.1) ———
+        ExponentClaim {
+            id: "full-to-band.W.n",
+            stage: Stage::FullToBand,
+            quantity: Quantity::W,
+            variable: "n",
+            paper: 2.0,
+            tol: 0.35,
+            reference: "Lemma IV.1: W = O(n²/p^δ)",
+            note: "b = n/8 so the panel count is constant across the \
+                   sweep; panel QR and reconstruction words carry \
+                   sub-quadratic terms that depress the slope slightly.",
+            points: n_sweep(16, 1, ns),
+            quick_points: n_sweep(16, 1, ns_quick),
+        },
+        ExponentClaim {
+            id: "full-to-band.Fvol.n",
+            stage: Stage::FullToBand,
+            quantity: Quantity::Fvol,
+            variable: "n",
+            paper: 3.0,
+            tol: 0.35,
+            reference: "Lemma IV.1: F = O(n³/p)",
+            note: "Volume-based (see Quantity::Fvol): the panel QR runs \
+                   on a processor subset, so per-superstep-max F folds \
+                   stage imbalance into the exponent; the tier-1 \
+                   balance test bounds that imbalance separately.",
+            points: n_sweep(16, 1, ns),
+            quick_points: n_sweep(16, 1, ns_quick),
+        },
+        ExponentClaim {
+            id: "full-to-band.W.p",
+            stage: Stage::FullToBand,
+            quantity: Quantity::W,
+            variable: "p",
+            paper: -0.5,
+            tol: 0.3,
+            reference: "Lemma IV.1: W = O(n²/p^δ), δ = 1/2 at c = 1",
+            note: "Acceptance-critical claim, swept at fixed b = 16 \
+                   (Algorithm IV.3's b(p) schedule would vary two knobs \
+                   at once). Measured ≈ −0.28 at calibration: panel-QR \
+                   tree words (Θ(b² log p) per panel) do not fall with \
+                   p and flatten the slope on this window.",
+            points: p_sweep(128, 1, ps),
+            quick_points: p_sweep(128, 1, ps_quick),
+        },
+        // ——— Band-to-band (Algorithm IV.2, Lemma IV.3) ———
+        ExponentClaim {
+            id: "band-to-band.W.n",
+            stage: Stage::BandToBand,
+            quantity: Quantity::W,
+            variable: "n",
+            paper: 2.0,
+            tol: 0.35,
+            reference: "Lemma IV.3: W = O(n^{1+δ}b^{1−δ}/p^δ), b = n/8",
+            note: "With b ∝ n the bound is Θ(n²); the per-chase QR \
+                   panels add an O(n·b) floor visible at n = 64.",
+            points: n_sweep(16, 1, ns),
+            quick_points: n_sweep(16, 1, ns_quick),
+        },
+        ExponentClaim {
+            id: "band-to-band.F.n",
+            stage: Stage::BandToBand,
+            quantity: Quantity::F,
+            variable: "n",
+            paper: 3.0,
+            tol: 0.35,
+            reference: "Lemma IV.3: F = O(n²b/p), b = n/8",
+            note: "Bulge-chase updates are Θ(n²b); with b ∝ n the sweep \
+                   sees the cubic.",
+            points: n_sweep(16, 1, ns),
+            quick_points: n_sweep(16, 1, ns_quick),
+        },
+        // ——— CA-SBR (Lemma IV.2) ———
+        ExponentClaim {
+            id: "ca-sbr.W.n",
+            stage: Stage::CaSbr,
+            quantity: Quantity::W,
+            variable: "n",
+            paper: 1.0,
+            tol: 0.3,
+            reference: "Lemma IV.2: W = O(nb/p̂), b fixed",
+            note: "b is held fixed at 8, so the per-processor word share \
+                   is linear in n. The sweep starts at n = 96: below \
+                   that the bulge windows (≈ 2b columns) are comparable \
+                   to the per-processor column ranges and boundary \
+                   traffic is superlinear (measured ratios converge to \
+                   linear from above as n grows).",
+            points: n_sweep(4, 1, &[96, 128, 192, 256]),
+            quick_points: n_sweep(4, 1, &[128, 256]),
+        },
+        ExponentClaim {
+            id: "ca-sbr.F.n",
+            stage: Stage::CaSbr,
+            quantity: Quantity::F,
+            variable: "n",
+            paper: 2.0,
+            tol: 0.3,
+            reference: "Lemma IV.2: F = O(n²b/p̂), b fixed",
+            note: "Each of the O(n/b) sweeps touches O(nb²/p̂) entries.",
+            points: n_sweep(4, 1, &[96, 128, 192, 256]),
+            quick_points: n_sweep(4, 1, &[128, 256]),
+        },
+        // ——— End-to-end solver (Algorithm IV.3, Theorem IV.4) ———
+        ExponentClaim {
+            id: "solver.W.n",
+            stage: Stage::Solver,
+            quantity: Quantity::W,
+            variable: "n",
+            paper: 2.0,
+            tol: 0.35,
+            reference: "Theorem IV.4: W = O(n²/p^δ)",
+            note: "Composition of the stage claims; the sequential \
+                   eigensolve gather adds an O(n·b) term.",
+            points: n_sweep(16, 1, ns),
+            quick_points: n_sweep(16, 1, ns_quick),
+        },
+        ExponentClaim {
+            id: "solver.Fvol.n",
+            stage: Stage::Solver,
+            quantity: Quantity::Fvol,
+            variable: "n",
+            paper: 3.0,
+            tol: 0.35,
+            reference: "Theorem IV.4: F = O(n³/p)",
+            note: "Volume-based (see Quantity::Fvol): the sequential \
+                   banded eigensolve runs on one processor and would \
+                   dominate per-superstep-max F at small n.",
+            points: n_sweep(16, 1, ns),
+            quick_points: n_sweep(16, 1, ns_quick),
+        },
+        ExponentClaim {
+            id: "solver.W.p",
+            stage: Stage::Solver,
+            quantity: Quantity::W,
+            variable: "p",
+            paper: -0.5,
+            tol: 0.4,
+            reference: "Theorem IV.4 / Lemma IV.1: W = O(n²/p^δ), δ = 1/2 at c = 1",
+            note: "Swept at n = 256, p ≥ 16: the composite couples \
+                   b(p) = n/max(√p, log p) to p and runs band-to-band \
+                   on shrinking processor prefixes whose words do not \
+                   fall with the global p; measured ≈ −0.22 at \
+                   calibration. Below p = 16 the 1D stages dominate and \
+                   the slope collapses entirely — the claim documents \
+                   where the asymptotic regime starts.",
+            points: p_sweep(256, 1, &[16, 36, 64]),
+            quick_points: p_sweep(256, 1, &[16, 64]),
+        },
+        ExponentClaim {
+            id: "solver.S.n",
+            stage: Stage::Solver,
+            quantity: Quantity::S,
+            variable: "n",
+            paper: 0.0,
+            tol: 0.8,
+            reference: "Theorem IV.4: S = O(p^δ log²p), n-independent",
+            note: "The headline is what S is *not*: linear in n (the \
+                   ScaLAPACK baseline's Θ(n) column collectives). The \
+                   band-to-band chase count grows mildly with n on \
+                   finite windows; the tolerance excludes slope ≥ 0.8, \
+                   i.e. anything approaching the direct method's 1.0.",
+            points: n_sweep(16, 1, ns),
+            quick_points: n_sweep(16, 1, ns_quick),
+        },
+    ]
+}
+
+/// The asserted `√c` replication-gain claims.
+pub fn gain_claims() -> Vec<GainClaim> {
+    vec![
+        GainClaim {
+            id: "streaming-mm.gain.c4",
+            stage: Stage::StreamingMm,
+            n: 128,
+            p: 64,
+            c_hi: 4,
+            expected: 2.0,
+            lo: 1.5,
+            hi: 2.5,
+            reference: "Lemma III.3: W ∝ 1/p^δ = 1/(q·c) → ×√c at fixed p",
+            note: "The streaming kernel realizes the √c saving almost \
+                   exactly; the band allows block-size roundoff.",
+        },
+        GainClaim {
+            id: "full-to-band.gain.c4",
+            stage: Stage::FullToBand,
+            n: 96,
+            p: 64,
+            c_hi: 4,
+            expected: 2.0,
+            lo: 1.15,
+            hi: 2.5,
+            reference: "Lemma IV.1: W = O(n²/p^δ) → ×√c at fixed p",
+            note: "Panel QR and reconstruction words are c-independent \
+                   and dilute the gain at n = 96 (the same band the \
+                   tier-1 spot check pins: > 1.15, toward 2).",
+        },
+        GainClaim {
+            id: "solver.gain.c4",
+            stage: Stage::Solver,
+            n: 192,
+            p: 64,
+            c_hi: 4,
+            expected: 2.0,
+            lo: 1.05,
+            hi: 2.5,
+            reference: "Theorem IV.4: end-to-end W gains √c where \
+                        full-to-band dominates",
+            note: "Band-to-band and the sequential stage are \
+                   c-independent, so the end-to-end gain is the \
+                   full-to-band gain diluted by their word share; must \
+                   stay > 1 (replication never loses) and below √c·1.25.",
+        },
+    ]
+}

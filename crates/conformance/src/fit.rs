@@ -1,0 +1,83 @@
+//! Log-log least squares: the measured scaling exponent of a sweep.
+//!
+//! For a claimed power law `y = C·xᵉ`, the points `(ln x, ln y)` lie on
+//! a line of slope `e`; the fitted slope is the *measured exponent* and
+//! `R²` says how power-law-like the sweep actually was (log-additive
+//! lower-order terms — latency, `log p` factors — depress `R²` and bend
+//! the fitted slope toward them, which is exactly what the per-claim
+//! tolerances in [`crate::claims`] budget for).
+
+/// Result of a log-log linear fit.
+#[derive(Debug, Clone, Copy)]
+pub struct LogLogFit {
+    /// Fitted exponent (slope in log-log space).
+    pub slope: f64,
+    /// Fitted `ln C` (intercept in log-log space).
+    pub intercept: f64,
+    /// Coefficient of determination of the log-log line.
+    pub r2: f64,
+}
+
+/// Least-squares fit of `ln y` against `ln x`. Requires at least two
+/// distinct positive `x` values; non-positive `y` values are clamped to
+/// a tiny positive floor (a metered quantity of zero means the stage
+/// did not exercise that resource).
+pub fn fit_log_log(xs: &[f64], ys: &[f64]) -> LogLogFit {
+    assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+    assert!(xs.len() >= 2, "need at least two sweep points");
+    let lx: Vec<f64> = xs.iter().map(|v| v.ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|v| v.max(1e-300).ln()).collect();
+    let n = lx.len() as f64;
+    let mx = lx.iter().sum::<f64>() / n;
+    let my = ly.iter().sum::<f64>() / n;
+    let sxy: f64 = lx.iter().zip(&ly).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let sxx: f64 = lx.iter().map(|x| (x - mx).powi(2)).sum();
+    let syy: f64 = ly.iter().map(|y| (y - my).powi(2)).sum();
+    assert!(sxx > 0.0, "sweep must vary x");
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    // R² = 1 − SS_res/SS_tot (1.0 for a perfectly flat exact fit).
+    let ss_res: f64 = lx
+        .iter()
+        .zip(&ly)
+        .map(|(x, y)| (y - (intercept + slope * x)).powi(2))
+        .sum();
+    let r2 = if syy > 0.0 { 1.0 - ss_res / syy } else { 1.0 };
+    LogLogFit {
+        slope,
+        intercept,
+        r2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_power_law_is_recovered() {
+        let xs = [4.0f64, 16.0, 64.0, 256.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 3.5 * x.powf(-0.5)).collect();
+        let f = fit_log_log(&xs, &ys);
+        assert!((f.slope + 0.5).abs() < 1e-12, "slope {}", f.slope);
+        assert!((f.intercept - 3.5f64.ln()).abs() < 1e-12);
+        assert!(f.r2 > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn additive_lower_order_term_biases_the_slope_upward() {
+        // y = x² + 40·x: at small x the linear term drags the fitted
+        // exponent below 2 — the bias the claim tolerances budget for.
+        let xs = [8.0, 16.0, 32.0, 64.0];
+        let ys: Vec<f64> = xs.iter().map(|x| x * x + 40.0 * x).collect();
+        let f = fit_log_log(&xs, &ys);
+        assert!(f.slope > 1.0 && f.slope < 2.0);
+        assert!(f.r2 > 0.99, "still near-linear in log-log: {}", f.r2);
+    }
+
+    #[test]
+    #[should_panic(expected = "vary x")]
+    fn constant_x_is_rejected() {
+        let _ = fit_log_log(&[2.0, 2.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,34 @@
+//! # conformance — cost-model conformance harness
+//!
+//! Does the implementation *scale* the way the paper proves it must,
+//! and are the numbers it produces *right*? This crate answers both
+//! with one machine-checkable artifact:
+//!
+//! * [`sweep`] runs each pipeline stage (Streaming-MM, rectangular QR,
+//!   full→band, band→band, CA-SBR, the end-to-end solver) over a grid
+//!   of `(n, p, c)` on the virtual machine and pulls the metered
+//!   `F/W/Q/S` deltas from the BSP ledger;
+//! * [`fit`] log-log-fits the measured quantities to extract scaling
+//!   exponents;
+//! * [`claims`] is the table of asserted power laws — each with its
+//!   paper reference (Lemma III.3, Theorem III.6, Lemmas IV.1–IV.3,
+//!   Theorem IV.4), the asymptotic exponent, and a *documented*
+//!   tolerance calibrated against finite-size effects — plus the
+//!   headline `√c` replication-gain bands;
+//! * [`oracle`] is the numerical side: residual, orthogonality,
+//!   reference spectra (known constructions or independent Sturm
+//!   bisection) and metamorphic invariances over a seeded gallery;
+//! * [`run`] executes everything and [`report`] serializes the result
+//!   as `CONFORMANCE.json` (see `cargo run -p conformance`).
+
+#![warn(missing_docs)]
+
+pub mod claims;
+pub mod fit;
+pub mod oracle;
+pub mod report;
+pub mod run;
+pub mod sweep;
+
+pub use report::Report;
+pub use run::run;

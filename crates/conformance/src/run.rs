@@ -1,0 +1,128 @@
+//! Execute the claims table and assemble the [`Report`].
+
+use crate::claims::{exponent_claims, gain_claims};
+use crate::fit::fit_log_log;
+use crate::oracle;
+use crate::report::{ClaimOut, GainOut, Report, SweepPointOut};
+use crate::sweep::{measure, model_costs, replication_gain};
+
+/// Run every exponent claim, gain claim and oracle entry; `quick`
+/// selects the reduced sweeps (CI tier-2 / smoke test). `progress`
+/// receives one line per completed check, for live output.
+pub fn run(quick: bool, mut progress: impl FnMut(&str)) -> Report {
+    let mut exponents = Vec::new();
+    for claim in exponent_claims() {
+        let points = if quick {
+            &claim.quick_points
+        } else {
+            &claim.points
+        };
+        let xs: Vec<f64> = points.iter().map(|pt| claim.x_of(pt)).collect();
+        let mut ys = Vec::with_capacity(points.len());
+        let mut model_ys = Vec::with_capacity(points.len());
+        let mut points_out = Vec::with_capacity(points.len());
+        for pt in points {
+            let costs = measure(claim.stage, *pt);
+            let y = claim.quantity.of(&costs);
+            model_ys.push(claim.quantity.of_model(&model_costs(claim.stage, *pt)));
+            points_out.push(SweepPointOut {
+                n: pt.n as u64,
+                p: pt.p as u64,
+                c: pt.c as u64,
+                x: claim.x_of(pt),
+                y,
+            });
+            ys.push(y);
+        }
+        let fitted = fit_log_log(&xs, &ys);
+        let model_fit = fit_log_log(&xs, &model_ys);
+        let pass = (fitted.slope - claim.paper).abs() <= claim.tol;
+        progress(&format!(
+            "{} {:<22} paper {:+.2}  measured {:+.3}  (model window {:+.3}, R²={:.4}, tol ±{:.2})",
+            if pass { "PASS" } else { "FAIL" },
+            claim.id,
+            claim.paper,
+            fitted.slope,
+            model_fit.slope,
+            fitted.r2,
+            claim.tol,
+        ));
+        exponents.push(ClaimOut {
+            id: claim.id.to_string(),
+            stage: claim.stage.name().to_string(),
+            quantity: claim.quantity.name().to_string(),
+            variable: claim.variable.to_string(),
+            reference: claim.reference.to_string(),
+            paper_exponent: claim.paper,
+            measured_exponent: fitted.slope,
+            model_window_exponent: model_fit.slope,
+            tolerance: claim.tol,
+            r2: fitted.r2,
+            note: claim.note.to_string(),
+            pass,
+            points: points_out,
+        });
+    }
+
+    let mut gains = Vec::new();
+    for g in gain_claims() {
+        let (w_base, w_rep, gain) = replication_gain(g.stage, g.n, g.p, g.c_hi);
+        let pass = gain >= g.lo && gain <= g.hi;
+        progress(&format!(
+            "{} {:<22} √c = {:.2}  measured ×{:.3}  (band [{:.2}, {:.2}])",
+            if pass { "PASS" } else { "FAIL" },
+            g.id,
+            g.expected,
+            gain,
+            g.lo,
+            g.hi,
+        ));
+        gains.push(GainOut {
+            id: g.id.to_string(),
+            stage: g.stage.name().to_string(),
+            n: g.n as u64,
+            p: g.p as u64,
+            c_hi: g.c_hi as u64,
+            reference: g.reference.to_string(),
+            expected_gain: g.expected,
+            measured_gain: gain,
+            w_base,
+            w_replicated: w_rep,
+            lo: g.lo,
+            hi: g.hi,
+            note: g.note.to_string(),
+            pass,
+        });
+    }
+
+    let oracles = oracle::run_gallery(quick);
+    for o in &oracles {
+        progress(&format!(
+            "{} oracle {:<14} n={:<3} p={:<2} c={}  resid {:.2e}  orth {:.2e}  λ-err {:.2e} (vs {})",
+            if o.pass { "PASS" } else { "FAIL" },
+            o.matrix,
+            o.n,
+            o.p,
+            o.c,
+            o.residual,
+            o.orthogonality,
+            o.eigenvalue_error,
+            o.reference,
+        ));
+    }
+
+    let passed = exponents.iter().filter(|e| e.pass).count()
+        + gains.iter().filter(|g| g.pass).count()
+        + oracles.iter().filter(|o| o.pass).count();
+    let total = exponents.len() + gains.len() + oracles.len();
+    Report {
+        schema: "ca-symm-eig/conformance/v1".to_string(),
+        quick,
+        exponents,
+        gains,
+        oracles,
+        passed: passed as u64,
+        failed: (total - passed) as u64,
+        pass: total == passed,
+    }
+}

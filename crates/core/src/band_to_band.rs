@@ -62,9 +62,27 @@ pub fn band_to_band(
     k: usize,
     v_mem: usize,
 ) -> (BandedSym, BandToBandTrace) {
-    assert!(k >= 1 && k <= bmat.bandwidth(), "need 1 ≤ k ≤ band-width");
+    try_band_to_band(machine, grid, bmat, k, v_mem).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`band_to_band`] with typed input validation: a reduction factor
+/// outside `1 ≤ k ≤ b` comes back as `Err(EigenError)` with the ledger
+/// untouched.
+pub fn try_band_to_band(
+    machine: &Machine,
+    grid: &Grid,
+    bmat: &BandedSym,
+    k: usize,
+    v_mem: usize,
+) -> Result<(BandedSym, BandToBandTrace), crate::EigenError> {
+    if k < 1 || k > bmat.bandwidth() {
+        return Err(crate::EigenError::InvalidReductionFactor {
+            b: bmat.bandwidth(),
+            k,
+        });
+    }
     let h = bmat.bandwidth().div_ceil(k);
-    band_to_band_impl(machine, grid, bmat, h, v_mem, None)
+    Ok(band_to_band_impl(machine, grid, bmat, h, v_mem, None))
 }
 
 /// [`band_to_band`] with an explicit target band-width `h` (any

@@ -56,6 +56,22 @@ pub enum EigenError {
         /// Replication factor.
         c: usize,
     },
+    /// A band-width outside `1 ≤ b < n` was requested from
+    /// `full_to_band`.
+    InvalidBandwidth {
+        /// Problem dimension.
+        n: usize,
+        /// The offending band-width.
+        b: usize,
+    },
+    /// A reduction factor outside `1 ≤ k ≤ b` was requested from
+    /// `band_to_band`.
+    InvalidReductionFactor {
+        /// Current band-width.
+        b: usize,
+        /// The offending factor.
+        k: usize,
+    },
 }
 
 impl fmt::Display for EigenError {
@@ -85,6 +101,15 @@ impl fmt::Display for EigenError {
                 write!(
                     f,
                     "c = {c} exceeds the paper's c ≤ p^{{1/3}} regime for p = {p}"
+                )
+            }
+            Self::InvalidBandwidth { n, b } => {
+                write!(f, "band-width must satisfy 1 ≤ b < n (got b = {b}, n = {n})")
+            }
+            Self::InvalidReductionFactor { b, k } => {
+                write!(
+                    f,
+                    "reduction factor must satisfy 1 ≤ k ≤ band-width (got k = {k}, b = {b})"
                 )
             }
         }

@@ -65,7 +65,37 @@ pub fn full_to_band(
     a: &Matrix,
     b: usize,
 ) -> (BandedSym, FullToBandTrace) {
-    full_to_band_impl(machine, params, a, b, None)
+    try_full_to_band(machine, params, a, b).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`full_to_band`] with typed input validation: malformed requests
+/// (non-square or asymmetric `a`, band-width outside `1 ≤ b < n`,
+/// inconsistent grid parameters) come back as `Err(EigenError)` with
+/// the ledger untouched.
+pub fn try_full_to_band(
+    machine: &Machine,
+    params: &EigenParams,
+    a: &Matrix,
+    b: usize,
+) -> Result<(BandedSym, FullToBandTrace), crate::EigenError> {
+    use crate::EigenError;
+    params.revalidate()?;
+    let n = a.rows();
+    if n != a.cols() {
+        return Err(EigenError::NonSquareInput {
+            rows: n,
+            cols: a.cols(),
+        });
+    }
+    if a.asymmetry() >= 1e-10 * a.norm_max().max(1.0) {
+        return Err(EigenError::AsymmetricInput {
+            asymmetry: a.asymmetry() / a.norm_max().max(1.0),
+        });
+    }
+    if b < 1 || b >= n {
+        return Err(EigenError::InvalidBandwidth { n, b });
+    }
+    Ok(full_to_band_impl(machine, params, a, b, None))
 }
 
 /// [`full_to_band`] with transform recording for eigenvector

@@ -50,10 +50,10 @@ pub mod svd;
 pub mod transforms;
 pub mod tuning;
 
-pub use band_to_band::{band_to_band, band_to_band_to, band_to_band_to_logged};
+pub use band_to_band::{band_to_band, band_to_band_to, band_to_band_to_logged, try_band_to_band};
 pub use ca_sbr::{ca_sbr, ca_sbr_logged};
 pub use error::EigenError;
-pub use full_to_band::{full_to_band, full_to_band_logged, FullToBandTrace};
+pub use full_to_band::{full_to_band, full_to_band_logged, try_full_to_band, FullToBandTrace};
 pub use lang::lang_band_to_tridiagonal;
 pub use params::EigenParams;
 pub use solver::{

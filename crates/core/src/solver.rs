@@ -25,21 +25,36 @@ use ca_pla::coll;
 use ca_pla::grid::Grid;
 
 /// Per-stage cost record of one eigensolver run.
+///
+/// Each entry is a [`ca_bsp::StageRecord`] whose `name` starts with the
+/// stage's kind — `"full-to-band"`, `"band-to-band"`, `"ca-sbr"`,
+/// `"sequential eigensolve"` or `"back-transformation"` — followed by
+/// the stage's parameters (band-widths, active processors). Consumers
+/// that need per-kind totals (the conformance harness, the Table-I
+/// printer) aggregate by prefix with [`StageCosts::aggregate`].
 #[derive(Debug, Clone, Default)]
 pub struct StageCosts {
-    /// `(stage name, costs accumulated during the stage)`.
-    pub stages: Vec<(String, Costs)>,
+    /// Stage records in execution order.
+    pub stages: Vec<ca_bsp::StageRecord>,
 }
 
 impl StageCosts {
     fn push(&mut self, name: &str, c: Costs) {
-        self.stages.push((name.to_string(), c));
+        self.stages.push(ca_bsp::StageRecord::new(name, c));
     }
 
     /// Total costs over all stages.
     pub fn total(&self) -> Costs {
+        self.aggregate("")
+    }
+
+    /// Summed costs over every stage whose name starts with `prefix`
+    /// (`""` aggregates everything). Peak memory is a high-water mark,
+    /// not a sum, and is maxed instead.
+    pub fn aggregate(&self, prefix: &str) -> Costs {
         let mut t = Costs::default();
-        for (_, c) in &self.stages {
+        for s in self.stages.iter().filter(|s| s.name.starts_with(prefix)) {
+            let c = &s.costs;
             t.flops += c.flops;
             t.horizontal_words += c.horizontal_words;
             t.vertical_words += c.vertical_words;
@@ -49,6 +64,11 @@ impl StageCosts {
             t.peak_memory_words = t.peak_memory_words.max(c.peak_memory_words);
         }
         t
+    }
+
+    /// Number of stages whose name starts with `prefix`.
+    pub fn count(&self, prefix: &str) -> usize {
+        self.stages.iter().filter(|s| s.name.starts_with(prefix)).count()
     }
 }
 
@@ -402,8 +422,8 @@ mod tests {
             );
             // The back-transformation stage is recorded and charged.
             let last = costs.stages.last().expect("stages");
-            assert!(last.0.starts_with("back-transformation"));
-            assert!(last.1.flops > 0);
+            assert!(last.name.starts_with("back-transformation"));
+            assert!(last.costs.flops > 0);
         }
     }
 
@@ -414,7 +434,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(304);
         let a = gen::random_symmetric(&mut rng, 64);
         let (_, stages) = symm_eigen_25d(&m, &params, &a);
-        let names: Vec<&str> = stages.stages.iter().map(|(n, _)| n.as_str()).collect();
+        let names: Vec<&str> = stages.stages.iter().map(|s| s.name.as_str()).collect();
         assert!(names[0].starts_with("full-to-band"));
         assert!(names.last().unwrap().starts_with("sequential"));
         // Stage totals match the machine ledger.

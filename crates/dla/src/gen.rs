@@ -80,6 +80,79 @@ pub fn linspace_spectrum(n: usize, lo: f64, hi: f64) -> Vec<f64> {
         .collect()
 }
 
+/// Geometrically graded spectrum: `λᵢ = largest·decayⁱ` (descending in
+/// magnitude, spanning `decay^{n−1}` orders of magnitude). Graded
+/// spectra stress the small-eigenvalue end of the solver: relative
+/// accuracy of the tiny eigenvalues is lost first when a reduction
+/// stage leaks error.
+pub fn graded_spectrum(n: usize, largest: f64, decay: f64) -> Vec<f64> {
+    assert!(decay > 0.0, "decay must be positive");
+    let mut lambda = Vec::with_capacity(n);
+    let mut v = largest;
+    for _ in 0..n {
+        lambda.push(v);
+        v *= decay;
+    }
+    lambda.reverse(); // ascending, matching the solver's output order
+    lambda
+}
+
+/// Spectrum of `clusters` tight groups spread over `[lo, hi]`: each
+/// cluster's eigenvalues sit within `±spread` of its center — the
+/// near-multiple-eigenvalue stress case (tridiagonal QL and bisection
+/// both slow down or mis-order without careful deflation).
+pub fn clustered_spectrum(n: usize, clusters: usize, lo: f64, hi: f64, spread: f64) -> Vec<f64> {
+    assert!(clusters >= 1 && clusters <= n.max(1), "need 1 ≤ clusters ≤ n");
+    let mut lambda = Vec::with_capacity(n);
+    for i in 0..n {
+        let k = i * clusters / n.max(1); // cluster index, balanced sizes
+        let center = if clusters == 1 {
+            (lo + hi) / 2.0
+        } else {
+            lo + (hi - lo) * k as f64 / (clusters - 1) as f64
+        };
+        // Deterministic offset inside the cluster, symmetric about the
+        // center, strictly inside ±spread.
+        let j = (i * clusters) % n.max(1);
+        let frac = (j as f64 / n.max(1) as f64) - 0.5;
+        lambda.push(center + 2.0 * spread * frac);
+    }
+    lambda.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    lambda
+}
+
+/// Random symmetric strictly diagonally dominant matrix: off-diagonal
+/// entries i.i.d. in `[-1, 1)`, each diagonal set to `dominance` times
+/// the row's off-diagonal absolute sum (`dominance > 1` ⇒ positive
+/// definite by Gershgorin). Diagonally dominant inputs are the
+/// best-conditioned extreme of the gallery — a solver failing here
+/// fails everywhere.
+pub fn diagonally_dominant<R: Rng>(rng: &mut R, n: usize, dominance: f64) -> Matrix {
+    assert!(dominance >= 1.0, "dominance must be ≥ 1");
+    let mut a = random_matrix(rng, n, n);
+    a.symmetrize();
+    for i in 0..n {
+        let off: f64 = (0..n).filter(|&j| j != i).map(|j| a.get(i, j).abs()).sum();
+        a.set(i, i, dominance * off.max(1.0));
+    }
+    a
+}
+
+/// Deterministic fingerprint of a matrix's exact bit pattern, for
+/// pinning generators against drift: any change to a generator's
+/// sampling order, arithmetic, or the underlying RNG stream changes the
+/// fingerprint, which golden-cost and conformance baselines depend on.
+pub fn fingerprint(a: &Matrix) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV offset basis
+    for i in 0..a.rows() {
+        for j in 0..a.cols() {
+            h ^= a.get(i, j).to_bits();
+            h = h.wrapping_mul(0x1000_0000_01b3); // FNV prime
+        }
+    }
+    h
+}
+
 /// 1D tight-binding ring Hamiltonian with on-site disorder: a real
 /// symmetric matrix with hopping `t` between nearest neighbours on a ring
 /// of `n` sites and random on-site energies in `[-w/2, w/2]` (the Anderson
@@ -250,6 +323,98 @@ mod tests {
         assert_eq!(a.get(5, 4), -1.0);
         assert_eq!(a.get(5, 3), 0.25);
         assert_eq!(a.get(5, 2), 0.0);
+    }
+
+    #[test]
+    fn graded_spectrum_is_geometric_and_ascending() {
+        let lambda = graded_spectrum(8, 1.0, 0.1);
+        assert_eq!(lambda.len(), 8);
+        for w in lambda.windows(2) {
+            assert!(w[0] < w[1]);
+            assert!((w[1] / w[0] - 10.0).abs() < 1e-9);
+        }
+        assert!((lambda[7] - 1.0).abs() < 1e-15);
+        assert!((lambda[0] - 1e-7).abs() < 1e-15);
+    }
+
+    #[test]
+    fn clustered_spectrum_has_tight_groups() {
+        let spread = 1e-6;
+        let lambda = clustered_spectrum(12, 3, -3.0, 3.0, spread);
+        assert_eq!(lambda.len(), 12);
+        for w in lambda.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        // Every eigenvalue is within spread of one of the 3 centers.
+        for l in &lambda {
+            let near = [-3.0f64, 0.0, 3.0]
+                .iter()
+                .any(|c| (l - c).abs() <= spread + 1e-12);
+            assert!(near, "λ = {l} not near any cluster center");
+        }
+        // Each cluster holds a near-multiple group: gaps inside a
+        // cluster are ≤ 2·spread, gaps between clusters are ~3.
+        let big_gaps = lambda.windows(2).filter(|w| w[1] - w[0] > 1.0).count();
+        assert_eq!(big_gaps, 2);
+    }
+
+    #[test]
+    fn diagonally_dominant_is_gershgorin_definite() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let a = diagonally_dominant(&mut rng, 16, 1.5);
+        assert_eq!(a.asymmetry(), 0.0);
+        for i in 0..16 {
+            let off: f64 = (0..16).filter(|&j| j != i).map(|j| a.get(i, j).abs()).sum();
+            assert!(a.get(i, i) > off, "row {i} not strictly dominant");
+        }
+    }
+
+    /// Pinned fingerprints: the gallery matrices behind golden costs and
+    /// the conformance baselines. A generator change (sampling order,
+    /// arithmetic, RNG stream) flips the fingerprint and must be a
+    /// deliberate re-pin, not silent drift. Re-pin by running with
+    /// `UPDATE_GOLDEN=1 cargo test -p ca-dla generator_fingerprints -- --nocapture`.
+    #[test]
+    fn generator_fingerprints_are_pinned() {
+        let fps: Vec<(&str, u64)> = vec![
+            ("wilkinson(21)", fingerprint(&wilkinson(21))),
+            ("clement(16)", fingerprint(&clement(16))),
+            ("graded(16)", {
+                let mut rng = StdRng::seed_from_u64(1000);
+                let lambda = graded_spectrum(16, 4.0, 0.5);
+                fingerprint(&symmetric_with_spectrum(&mut rng, &lambda))
+            }),
+            ("clustered(16)", {
+                let mut rng = StdRng::seed_from_u64(1001);
+                let lambda = clustered_spectrum(16, 4, -2.0, 2.0, 1e-7);
+                fingerprint(&symmetric_with_spectrum(&mut rng, &lambda))
+            }),
+            ("diag_dominant(16)", {
+                let mut rng = StdRng::seed_from_u64(1002);
+                fingerprint(&diagonally_dominant(&mut rng, 16, 2.0))
+            }),
+            ("tight_binding(16)", {
+                let mut rng = StdRng::seed_from_u64(1003);
+                fingerprint(&tight_binding_ring(&mut rng, 16, 1.0, 2.0))
+            }),
+        ];
+        if std::env::var("UPDATE_GOLDEN").is_ok() {
+            for (name, fp) in &fps {
+                println!("(\"{name}\", 0x{fp:016x}),");
+            }
+            return;
+        }
+        let pinned: &[(&str, u64)] = &[
+            ("wilkinson(21)", 0xa5ba201c58447aff),
+            ("clement(16)", 0xad4be3e461c68559),
+            ("graded(16)", 0xc24050c44092e638),
+            ("clustered(16)", 0x6c010698ecfae7a9),
+            ("diag_dominant(16)", 0x4c19aae1202cabed),
+            ("tight_binding(16)", 0xb98e6561e35bc9e1),
+        ];
+        for ((name, got), (_, want)) in fps.iter().zip(pinned) {
+            assert_eq!(got, want, "{name}: generator fingerprint drifted");
+        }
     }
 
     #[test]

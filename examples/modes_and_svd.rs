@@ -50,11 +50,11 @@ fn main() {
     let bt = costs
         .stages
         .iter()
-        .find(|(name, _)| name.starts_with("back-transformation"))
+        .find(|s| s.name.starts_with("back-transformation"))
         .expect("back-transformation stage");
     println!(
         "  back-transformation cost (the §IV.C price): F = {}, W = {}",
-        bt.1.flops, bt.1.horizontal_words
+        bt.costs.flops, bt.costs.horizontal_words
     );
 
     // Part 2: SVD of a low-rank-plus-noise matrix.

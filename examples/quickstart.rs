@@ -47,10 +47,11 @@ fn main() {
         "  {:<34} {:>12} {:>10} {:>10} {:>8}",
         "stage", "F (flops)", "W (words)", "Q (words)", "S"
     );
-    for (name, c) in &stages.stages {
+    for s in &stages.stages {
+        let c = &s.costs;
         println!(
             "  {:<34} {:>12} {:>10} {:>10} {:>8}",
-            name, c.flops, c.horizontal_words, c.vertical_words, c.supersteps
+            s.name, c.flops, c.horizontal_words, c.vertical_words, c.supersteps
         );
     }
     let t = stages.total();

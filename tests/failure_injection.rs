@@ -2,10 +2,18 @@
 //! Failure injection: the guard rails must fire on misuse — wrong
 //! shapes, out-of-regime parameters, asymmetric inputs, capacity
 //! violations — rather than silently producing wrong costs or numbers.
+//!
+//! Everything with a `try_*` entry point asserts the *typed*
+//! [`EigenError`] (the contract a serving layer programs against);
+//! `should_panic` remains only for the low-level invariants that have
+//! no typed path (capacity checks, kernel shape asserts).
 
 use ca_symm_eig::bsp::{Machine, MachineParams};
 use ca_symm_eig::dla::{BandedSym, Matrix};
-use ca_symm_eig::eigen::EigenParams;
+use ca_symm_eig::eigen::{
+    try_band_to_band, try_full_to_band, try_singular_values, try_svd, try_symm_eigen_25d,
+    EigenError, EigenParams,
+};
 use ca_symm_eig::pla::dist::DistMatrix;
 use ca_symm_eig::pla::grid::Grid;
 
@@ -14,54 +22,114 @@ fn machine(p: usize) -> Machine {
 }
 
 #[test]
-#[should_panic(expected = "must be symmetric")]
 fn full_to_band_rejects_asymmetric_input() {
     let m = machine(4);
     let a = Matrix::from_fn(16, 16, |i, j| (i * 16 + j) as f64);
-    let _ = ca_symm_eig::eigen::full_to_band(&m, &EigenParams::new(4, 1), &a, 4);
+    assert!(matches!(
+        try_full_to_band(&m, &EigenParams::new(4, 1), &a, 4),
+        Err(EigenError::AsymmetricInput { .. })
+    ));
+    assert_eq!(m.report().horizontal_words, 0, "rejected request charged the ledger");
 }
 
 #[test]
-#[should_panic(expected = "1 ≤ b < n")]
 fn full_to_band_rejects_overwide_bandwidth() {
     // Non-dividing band-widths are legal now (arbitrary n); b ≥ n is
     // still nonsense.
     let m = machine(4);
     let mut a = Matrix::from_fn(16, 16, |i, j| ((i + j) as f64).sin());
     a.symmetrize();
-    let _ = ca_symm_eig::eigen::full_to_band(&m, &EigenParams::new(4, 1), &a, 16);
+    assert!(matches!(
+        try_full_to_band(&m, &EigenParams::new(4, 1), &a, 16),
+        Err(EigenError::InvalidBandwidth { n: 16, b: 16 })
+    ));
+    assert!(matches!(
+        try_full_to_band(&m, &EigenParams::new(4, 1), &a, 0),
+        Err(EigenError::InvalidBandwidth { n: 16, b: 0 })
+    ));
+    // The panicking shim reports the same condition.
+    let err = std::panic::catch_unwind(|| {
+        ca_symm_eig::eigen::full_to_band(&m, &EigenParams::new(4, 1), &a, 16)
+    })
+    .expect_err("b = n must panic");
+    let msg = err.downcast_ref::<String>().expect("panic message");
+    assert!(msg.contains("1 ≤ b < n"), "unexpected message: {msg}");
 }
 
 #[test]
-#[should_panic(expected = "1 ≤ k ≤ band-width")]
 fn band_to_band_rejects_bad_k() {
     // k need not divide b any more (targets round up), but k > b is
     // still rejected.
     let m = machine(2);
     let b = BandedSym::zeros(16, 6, 6);
-    let _ = ca_symm_eig::eigen::band_to_band(&m, &Grid::all(2), &b, 7, 1);
+    assert!(matches!(
+        try_band_to_band(&m, &Grid::all(2), &b, 7, 1),
+        Err(EigenError::InvalidReductionFactor { b: 6, k: 7 })
+    ));
+    assert!(matches!(
+        try_band_to_band(&m, &Grid::all(2), &b, 0, 1),
+        Err(EigenError::InvalidReductionFactor { b: 6, k: 0 })
+    ));
+    assert_eq!(m.report().horizontal_words, 0);
 }
 
 #[test]
-#[should_panic(expected = "regime")]
 fn params_reject_excess_replication() {
-    let _ = EigenParams::new(16, 4); // 4³ = 64 > 16
+    assert_eq!(
+        EigenParams::try_new(16, 4), // 4³ = 64 > 16
+        Err(EigenError::ReplicationOutOfRegime { p: 16, c: 4 })
+    );
 }
 
 #[test]
-#[should_panic(expected = "perfect square")]
 fn params_reject_non_square_layer() {
-    let _ = EigenParams::new(24, 2);
+    assert_eq!(
+        EigenParams::try_new(24, 2),
+        Err(EigenError::NonSquareGrid { p: 24, c: 2 })
+    );
 }
 
 #[test]
-#[should_panic(expected = "at least 2")]
 fn solver_rejects_degenerate_sizes() {
     // Arbitrary n ≥ 2 is supported now (n = 24 solves fine); n < 2 is
     // still rejected.
     let m = machine(4);
     let a = Matrix::from_fn(1, 1, |_, _| 3.0);
-    let _ = ca_symm_eig::eigen::symm_eigen_25d(&m, &EigenParams::new(4, 1), &a);
+    assert!(matches!(
+        try_symm_eigen_25d(&m, &EigenParams::new(4, 1), &a),
+        Err(EigenError::TooSmall { n: 1 })
+    ));
+}
+
+#[test]
+fn svd_surfaces_embedded_solver_errors() {
+    // try_svd / try_singular_values route through the embedded
+    // eigensolve, so grid errors surface typed, before any charge.
+    let m = machine(4);
+    let a = Matrix::from_fn(6, 4, |i, j| ((i * 4 + j) as f64).cos());
+    let mut bad = EigenParams::new(4, 1);
+    bad.q = 3;
+    assert!(matches!(
+        try_svd(&m, &bad, &a),
+        Err(EigenError::NonSquareGrid { .. })
+    ));
+    assert!(matches!(
+        try_singular_values(&m, &bad, &a),
+        Err(EigenError::NonSquareGrid { .. })
+    ));
+    // Degenerate 0×0 input: the m+n = 0 embedding is below the solver's
+    // minimum dimension.
+    let empty = Matrix::zeros(0, 0);
+    assert!(matches!(
+        try_svd(&m, &EigenParams::new(4, 1), &empty),
+        Err(EigenError::TooSmall { n: 0 })
+    ));
+    assert!(matches!(
+        try_singular_values(&m, &EigenParams::new(4, 1), &empty),
+        Err(EigenError::TooSmall { n: 0 })
+    ));
+    assert_eq!(m.report().horizontal_words, 0);
+    assert_eq!(m.report().supersteps, 0);
 }
 
 #[test]
