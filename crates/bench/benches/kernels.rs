@@ -1,7 +1,7 @@
 //! E-W1: wall-clock Criterion benchmarks of the sequential kernels —
 //! the real compute performance underneath the simulated machine.
 
-use ca_dla::bulge::reduce_band;
+use ca_dla::bulge::{chase_plan, execute_chase, execute_chase_reference, reduce_band};
 use ca_dla::gemm::{matmul, Trans};
 use ca_dla::qr::qr_factor;
 use ca_dla::tridiag::tridiag_eigenvalues;
@@ -60,6 +60,64 @@ fn bench_band_reduction(c: &mut Criterion) {
     group.finish();
 }
 
+/// One steady-state chase window, zero-copy engine vs. the seed
+/// copy-based reference (both pay the same matrix clone per iteration).
+fn bench_chase_window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chase_window_update");
+    for (n, b, k) in [(512usize, 32usize, 2usize), (512, 64, 2)] {
+        let mut rng = StdRng::seed_from_u64(4);
+        let dense = gen::random_banded(&mut rng, n, b);
+        let mut base = BandedSym::from_dense(&dense, b, (2 * b).min(n - 1));
+        // Replay the plan up to the second sweep so the benched op sees
+        // steady-state fill, then bench that op alone.
+        let plan = chase_plan(n, b, k);
+        let at = plan
+            .iter()
+            .position(|op| op.i == 2)
+            .expect("plan reaches sweep 2");
+        for op in &plan[..at] {
+            execute_chase(&mut base, op);
+        }
+        let op = &plan[at];
+        for (engine, reference) in [("zero_copy", false), ("reference", true)] {
+            group.bench_with_input(
+                BenchmarkId::new(engine, format!("n{n}_b{b}")),
+                &reference,
+                |bench, &reference| {
+                    bench.iter(|| {
+                        let mut m = base.clone();
+                        if reference {
+                            execute_chase_reference(&mut m, op);
+                        } else {
+                            execute_chase(&mut m, op);
+                        }
+                        black_box(m)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Unblocked panel factorization (`nb = 1` routes everything through
+/// the vectorized `geqr2` + `form_t` micro-kernels).
+fn bench_geqr2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("geqr2");
+    for (m, n) in [(256usize, 32usize), (512, 64)] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = gen::random_matrix(&mut rng, m, n);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{n}")),
+            &(m, n),
+            |bench, _| {
+                bench.iter(|| black_box(qr_factor(&a, 1)));
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_tridiag_eigen(c: &mut Criterion) {
     let mut group = c.benchmark_group("tridiag_ql");
     for n in [256usize, 1024] {
@@ -75,6 +133,7 @@ fn bench_tridiag_eigen(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(10);
-    targets = bench_gemm, bench_qr, bench_band_reduction, bench_tridiag_eigen
+    targets = bench_gemm, bench_qr, bench_band_reduction, bench_chase_window,
+        bench_geqr2, bench_tridiag_eigen
 }
 criterion_main!(kernels);

@@ -1,0 +1,210 @@
+//! PR-6 acceptance benchmark: per-stage wall-clock and model flop-rate
+//! of the end-to-end solver, *before* (seed copy-based chase kernels)
+//! vs. *after* (zero-copy workspace kernels — see DESIGN.md, "The
+//! kernel engine"). Writes `BENCH_PR6.json` in the current directory.
+//!
+//! Both legs run from one build: the seed chase path is kept alive as
+//! `chase_window_update_factors_reference` behind the
+//! `set_zero_copy_enabled` engine toggle, so "before" is the actual
+//! seed arithmetic, not a reconstruction. Stage wall-clock comes from
+//! [`StageCosts::wall_secs`]; model flops from the metered ledger.
+//!
+//! Flags:
+//!
+//! * `--quick` — n ∈ {256} only (CI-sized; the full grid adds 512);
+//! * `--out <path>` — output path (default `BENCH_PR6.json`);
+//! * `--check <ref.json>` — compare per-stage and end-to-end speedups
+//!   against a committed reference and exit nonzero if any entry
+//!   regressed by more than 25%. Speedups (ratios of two timings on
+//!   the same host) are compared rather than absolute times, so the
+//!   check is meaningful across machines of different speeds.
+
+use ca_bsp::{Machine, MachineParams};
+use ca_dla::bulge::set_zero_copy_enabled;
+use ca_dla::gen;
+use ca_eigen::params::EigenParams;
+use ca_eigen::solver::{symm_eigen_25d, StageCosts};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Stage-name prefixes reported individually (matching
+/// [`StageCosts::aggregate`] prefix semantics).
+const STAGES: [&str; 4] = ["full-to-band", "band-to-band", "ca-sbr", "sequential eigensolve"];
+
+/// Fractional speedup loss tolerated by `--check` before failing.
+const REGRESSION_SLACK: f64 = 0.25;
+
+/// Run the solver `reps` times with the given engine selection and
+/// return the median run (by end-to-end wall time) with its stage
+/// breakdown.
+fn run_case(n: usize, p: usize, reps: usize, zero_copy: bool) -> (f64, StageCosts) {
+    set_zero_copy_enabled(zero_copy);
+    let mut rng = StdRng::seed_from_u64(4096 + n as u64);
+    let spectrum = gen::linspace_spectrum(n, -1.0, 1.0);
+    let a = gen::symmetric_with_spectrum(&mut rng, &spectrum);
+    let machine = Machine::new(MachineParams::new(p));
+    let params = EigenParams::new(p, 1);
+    let mut runs: Vec<(f64, StageCosts)> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            let (ev, stages) = symm_eigen_25d(&machine, &params, &a);
+            black_box(ev);
+            (t0.elapsed().as_secs_f64(), stages)
+        })
+        .collect();
+    runs.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+    let mid = runs.len() / 2;
+    runs.swap_remove(mid)
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+/// Extract the number following `"key": ` on `line` (the emitted JSON
+/// keeps each record on one line precisely so this scan suffices — the
+/// vendored `serde_json` shim serializes but does not parse).
+fn num_after(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extract the quoted string following `"key": "` on `line`.
+fn str_after<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": \"");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    rest.split('"').next()
+}
+
+/// Parse a stage-times JSON into `((n, stage-or-end-to-end) → speedup)`.
+/// "end-to-end" is keyed by an empty stage name.
+fn parse_speedups(text: &str) -> Vec<(usize, String, f64)> {
+    let mut out = Vec::new();
+    let mut current_n = 0usize;
+    for line in text.lines() {
+        if let Some(stage) = str_after(line, "stage") {
+            if let Some(s) = num_after(line, "speedup") {
+                out.push((current_n, stage.to_string(), s));
+            }
+        } else if let Some(n) = num_after(line, "n") {
+            current_n = n as usize;
+            if let Some(s) = num_after(line, "speedup") {
+                out.push((current_n, String::new(), s));
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = flag_value(&args, "--out").unwrap_or("BENCH_PR6.json");
+    let check = flag_value(&args, "--check");
+    let sizes: &[usize] = if quick { &[256] } else { &[256, 512] };
+    let (p, reps) = (4usize, 5usize);
+
+    // Load the reference *before* running (and possibly overwriting it,
+    // when `--check` and `--out` name the same file).
+    let reference: Option<Vec<(usize, String, f64)>> = check.map(|ref_path| {
+        let text = std::fs::read_to_string(ref_path)
+            .unwrap_or_else(|e| panic!("read reference {ref_path}: {e}"));
+        let parsed = parse_speedups(&text);
+        assert!(!parsed.is_empty(), "no speedup entries in {ref_path}");
+        parsed
+    });
+
+    let mut out = String::from("{\n  \"cases\": [\n");
+    let mut measured: Vec<(usize, String, f64)> = Vec::new();
+    for (ci, &n) in sizes.iter().enumerate() {
+        let (t_before, st_before) = run_case(n, p, reps, false);
+        let (t_after, st_after) = run_case(n, p, reps, true);
+        let speedup = t_before / t_after;
+        println!(
+            "solver n={n} p={p}: reference {:.1} ms -> zero-copy {:.1} ms, {speedup:.2}x",
+            t_before * 1e3,
+            t_after * 1e3
+        );
+        measured.push((n, String::new(), speedup));
+        out.push_str(&format!(
+            "    {{\"n\": {n}, \"p\": {p}, \"c\": 1, \"before_ms\": {:.3}, \
+             \"after_ms\": {:.3}, \"speedup\": {:.3},\n     \"stages\": [\n",
+            t_before * 1e3,
+            t_after * 1e3,
+            speedup
+        ));
+        let present: Vec<&str> = STAGES
+            .iter()
+            .copied()
+            .filter(|s| st_after.count(s) > 0)
+            .collect();
+        for (si, stage) in present.iter().enumerate() {
+            let wb = st_before.wall_seconds(stage);
+            let wa = st_after.wall_seconds(stage);
+            let s = wb / wa.max(1e-12);
+            let gflop = st_after.aggregate(stage).total_flops as f64 / 1e9;
+            let rate = gflop / wa.max(1e-12);
+            println!(
+                "  {stage:<22} {:>9.1} ms -> {:>8.1} ms  {s:>5.2}x  ({gflop:.3} model Gflop, {rate:.2} GF/s)",
+                wb * 1e3,
+                wa * 1e3
+            );
+            measured.push((n, stage.to_string(), s));
+            out.push_str(&format!(
+                "      {{\"stage\": \"{stage}\", \"before_ms\": {:.3}, \"after_ms\": {:.3}, \
+                 \"speedup\": {:.3}, \"model_gflop\": {:.3}, \"after_gflops\": {:.3}}}{}\n",
+                wb * 1e3,
+                wa * 1e3,
+                s,
+                gflop,
+                rate,
+                if si + 1 == present.len() { "" } else { "," }
+            ));
+        }
+        out.push_str(&format!(
+            "     ]}}{}\n",
+            if ci + 1 == sizes.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(out_path, &out).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("wrote {out_path}");
+
+    if let Some(reference) = reference {
+        let mut failed = false;
+        for (n, stage, got) in &measured {
+            let Some((_, _, want)) = reference
+                .iter()
+                .find(|(rn, rs, _)| rn == n && rs == stage)
+            else {
+                continue; // reference lacks this grid point (e.g. --quick ref)
+            };
+            let label = if stage.is_empty() { "end-to-end" } else { stage };
+            let floor = want * (1.0 - REGRESSION_SLACK);
+            if *got < floor {
+                eprintln!(
+                    "REGRESSION n={n} {label}: speedup {got:.2}x < {floor:.2}x \
+                     (reference {want:.2}x - {:.0}% slack)",
+                    REGRESSION_SLACK * 100.0
+                );
+                failed = true;
+            } else {
+                println!("check n={n} {label}: {got:.2}x vs reference {want:.2}x ok");
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+}

@@ -352,8 +352,8 @@ fn chase_compute(
     let bup = d.block(up_c, qr_r, nc, nr);
     let bu = ops::resident_mm(machine, group, &bup, Trans::N, &u, Trans::N, v_mem);
     let w = ops::resident_mm(machine, group, &bu, Trans::N, &t, Trans::N, 1);
-    let mut v = w.clone();
-    v.scale(-1.0);
+    // Fused V = −W (one pass, no clone-then-scale; −x ≡ x·(−1) bitwise).
+    let mut v = Matrix::from_fn(w.rows(), w.cols(), |i, j| -w.get(i, j));
 
     // Line 20: V[I_v.rs, :] += ½·U·(Tᵀ·(Uᵀ·W[I_v.rs, :])).
     let w_sym = w.block(op.ov, 0, nr, kk);
@@ -371,12 +371,14 @@ fn chase_compute(
 
     // Lines 21–22: the symmetric rank-2h update (resident operands).
     let uvt = ops::resident_mm(machine, group, &u, Trans::N, &v, Trans::T, v_mem);
-    let mut upd_rows = d.block(qr_r, up_c, nr, nc);
-    upd_rows.axpy(1.0, &uvt);
-    d.set_block(qr_r, up_c, &upd_rows);
-    let mut upd_cols = d.block(up_c, qr_r, nc, nr);
-    upd_cols.axpy(1.0, &uvt.transpose());
-    d.set_block(up_c, qr_r, &upd_cols);
+    d.add_block(qr_r, up_c, &uvt, 1.0);
+    // Transposed accumulate of the mirror, no block/axpy/set_block
+    // round-trip (`+= 1.0·s` ≡ `+= s` bitwise).
+    for i in 0..nc {
+        for j in 0..nr {
+            d.add_to(up_c + i, qr_r + j, uvt.get(j, i));
+        }
+    }
     for &pid in group.procs() {
         machine.charge_flops(pid, 2 * ((nr * nc) as u64).div_ceil(p_hat));
     }

@@ -140,15 +140,29 @@ fn full_to_band_impl(
     let mut out = BandedSym::zeros(n, b, b);
     let mut trace = FullToBandTrace::default();
 
-    // Aggregates, rows aligned with the current trailing range [o, n).
-    let mut u_agg = Matrix::zeros(n, 0);
-    let mut v_agg = Matrix::zeros(n, 0);
+    // Aggregates, preallocated at full height with *global* row
+    // alignment (row r of the aggregate is global row r) and the final
+    // column count: panels append in place via `set_block` and every
+    // product takes an offset block spec, instead of the seed's
+    // per-panel O(n²) reallocate-and-copy rebuild. Rows above the
+    // current trailing range and columns beyond `m_agg` are never read.
+    let total_agg: usize = {
+        let mut total = 0usize;
+        let mut oo = 0usize;
+        while n - oo > b {
+            total += (n - oo - b).min(b);
+            oo += b;
+        }
+        total
+    };
+    let mut u_agg = Matrix::zeros(n, total_agg);
+    let mut v_agg = Matrix::zeros(n, total_agg);
+    let mut m_agg = 0usize;
 
     let mut o = 0usize;
     let mut step = 0usize;
     while n - o > b {
         let rem = n - o;
-        let m_agg = u_agg.cols();
         trace.panels.push(PanelTrace {
             step,
             offset: o,
@@ -164,15 +178,15 @@ fn full_to_band_impl(
         if m_agg > 0 {
             let (upd1, upd2) = exec::join(
                 || {
-                    let v1_0t = v_agg.block(0, 0, b, m_agg).transpose();
+                    let v1_0t = v_agg.block(o, 0, b, m_agg).transpose();
                     streaming_mm_dense(
-                        machine, &grid3, &u_agg, (0, 0, rem, m_agg), false, &v1_0t, w_depth,
+                        machine, &grid3, &u_agg, (o, 0, rem, m_agg), false, &v1_0t, w_depth,
                     )
                 },
                 || {
-                    let u1_0t = u_agg.block(0, 0, b, m_agg).transpose();
+                    let u1_0t = u_agg.block(o, 0, b, m_agg).transpose();
                     streaming_mm_dense(
-                        machine, &grid3, &v_agg, (0, 0, rem, m_agg), false, &u1_0t, w_depth,
+                        machine, &grid3, &v_agg, (o, 0, rem, m_agg), false, &u1_0t, w_depth,
                     )
                 },
             );
@@ -229,25 +243,25 @@ fn full_to_band_impl(
             machine, &grid3, a, (o + b, o + b, rem - b, rem - b), false, &u1, w_depth,
         );
         if m_agg > 0 {
-            let u2_0 = u_agg.block(b, 0, rem - b, m_agg);
-            let v2_0 = v_agg.block(b, 0, rem - b, m_agg);
             // The U₂⁽⁰⁾(V₂⁽⁰⁾ᵀU₁) and V₂⁽⁰⁾(U₂⁽⁰⁾ᵀU₁) chains are
-            // independent of each other — run them concurrently.
+            // independent of each other — run them concurrently. The
+            // U₂⁽⁰⁾/V₂⁽⁰⁾ sub-panels are addressed by block spec, no
+            // copies.
             let (w2, w3) = exec::join(
                 || {
                     let vtu = streaming_mm_dense(
-                        machine, &grid3, &v2_0, (0, 0, rem - b, m_agg), true, &u1, w_depth,
+                        machine, &grid3, &v_agg, (o + b, 0, rem - b, m_agg), true, &u1, w_depth,
                     );
                     streaming_mm_dense(
-                        machine, &grid3, &u2_0, (0, 0, rem - b, m_agg), false, &vtu, w_depth,
+                        machine, &grid3, &u_agg, (o + b, 0, rem - b, m_agg), false, &vtu, w_depth,
                     )
                 },
                 || {
                     let utu = streaming_mm_dense(
-                        machine, &grid3, &u2_0, (0, 0, rem - b, m_agg), true, &u1, w_depth,
+                        machine, &grid3, &u_agg, (o + b, 0, rem - b, m_agg), true, &u1, w_depth,
                     );
                     streaming_mm_dense(
-                        machine, &grid3, &v2_0, (0, 0, rem - b, m_agg), false, &utu, w_depth,
+                        machine, &grid3, &v_agg, (o + b, 0, rem - b, m_agg), false, &utu, w_depth,
                     )
                 },
             );
@@ -285,16 +299,9 @@ fn full_to_band_impl(
         }
         machine.step(grid3.procs(), 2);
 
-        let mut u_next = Matrix::zeros(rem - b, m_agg + kk);
-        let mut v_next = Matrix::zeros(rem - b, m_agg + kk);
-        if m_agg > 0 {
-            u_next.set_block(0, 0, &u_agg.block(b, 0, rem - b, m_agg));
-            v_next.set_block(0, 0, &v_agg.block(b, 0, rem - b, m_agg));
-        }
-        u_next.set_block(0, m_agg, &u1);
-        v_next.set_block(0, m_agg, &v1);
-        u_agg = u_next;
-        v_agg = v_next;
+        u_agg.set_block(o + b, m_agg, &u1);
+        v_agg.set_block(o + b, m_agg, &v1);
+        m_agg += kk;
 
         o += b;
         step += 1;
@@ -303,17 +310,16 @@ fn full_to_band_impl(
 
     // Base case (lines 1–2): the final b×b block.
     let rem = n - o;
-    let m_agg = u_agg.cols();
     let mut last = a.block(o, o, rem, rem);
     if m_agg > 0 {
         let (upd1, upd2) = exec::join(
             || {
-                let vt = v_agg.transpose();
-                streaming_mm_dense(machine, &grid3, &u_agg, (0, 0, rem, m_agg), false, &vt, w_depth)
+                let vt = v_agg.block(o, 0, rem, m_agg).transpose();
+                streaming_mm_dense(machine, &grid3, &u_agg, (o, 0, rem, m_agg), false, &vt, w_depth)
             },
             || {
-                let ut = u_agg.transpose();
-                streaming_mm_dense(machine, &grid3, &v_agg, (0, 0, rem, m_agg), false, &ut, w_depth)
+                let ut = u_agg.block(o, 0, rem, m_agg).transpose();
+                streaming_mm_dense(machine, &grid3, &v_agg, (o, 0, rem, m_agg), false, &ut, w_depth)
             },
         );
         last.axpy(1.0, &upd1);

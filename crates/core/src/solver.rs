@@ -36,11 +36,28 @@ use ca_pla::grid::Grid;
 pub struct StageCosts {
     /// Stage records in execution order.
     pub stages: Vec<ca_bsp::StageRecord>,
+    /// Measured wall-clock seconds per stage, parallel to `stages`.
+    /// Diagnostic only: not part of the cost ledger or the conformance
+    /// claims (those stay model-derived), but the stage-time bench
+    /// harness reads it to attribute end-to-end time to stages.
+    pub wall_secs: Vec<f64>,
 }
 
 impl StageCosts {
-    fn push(&mut self, name: &str, c: Costs) {
+    fn push(&mut self, name: &str, c: Costs, secs: f64) {
         self.stages.push(ca_bsp::StageRecord::new(name, c));
+        self.wall_secs.push(secs);
+    }
+
+    /// Summed measured wall-clock seconds over every stage whose name
+    /// starts with `prefix` (`""` sums everything).
+    pub fn wall_seconds(&self, prefix: &str) -> f64 {
+        self.stages
+            .iter()
+            .zip(&self.wall_secs)
+            .filter(|(s, _)| s.name.starts_with(prefix))
+            .map(|(_, w)| *w)
+            .sum()
     }
 
     /// Total costs over all stages.
@@ -178,6 +195,7 @@ fn solve_impl(
     // Stage 1: full → band at b = n / max(p^{2−3δ}, log₂ p).
     let b0 = params.initial_bandwidth(n);
     let snap = machine.snapshot();
+    let t0 = std::time::Instant::now();
     let (mut band, _) = if want_vectors {
         crate::full_to_band::full_to_band_logged(
             machine,
@@ -189,7 +207,11 @@ fn solve_impl(
     } else {
         full_to_band(machine, params, a, b0)
     };
-    costs.push(&format!("full-to-band (b={b0})"), machine.costs_since(&snap));
+    costs.push(
+        &format!("full-to-band (b={b0})"),
+        machine.costs_since(&snap),
+        t0.elapsed().as_secs_f64(),
+    );
 
     // Stage 2: successive band reductions on shrinking prefixes until
     // b ≤ n/pᵟ. Arbitrary n: the target is the exact ceiling division
@@ -224,6 +246,7 @@ fn solve_impl(
         // Inside the stage snapshot, so the stage records cover the
         // ledger exactly.
         let snap = machine.snapshot();
+        let t0 = std::time::Instant::now();
         coll::gather(
             machine,
             &Grid::all(p),
@@ -249,6 +272,7 @@ fn solve_impl(
                 band.bandwidth()
             ),
             machine.costs_since(&snap),
+            t0.elapsed().as_secs_f64(),
         );
         band = next;
         stage += 1;
@@ -261,6 +285,7 @@ fn solve_impl(
     let sbr_grid = Grid::all(p).prefix(sbr_procs);
     while band.bandwidth() > target_low && band.bandwidth() >= 2 {
         let snap = machine.snapshot();
+        let t0 = std::time::Instant::now();
         let next = if want_vectors {
             crate::ca_sbr::ca_sbr_logged(
                 machine,
@@ -278,12 +303,14 @@ fn solve_impl(
                 band.bandwidth().div_ceil(2)
             ),
             machine.costs_since(&snap),
+            t0.elapsed().as_secs_f64(),
         );
         band = next;
     }
 
     // Stage 4: gather and solve sequentially (line 11).
     let snap = machine.snapshot();
+    let t0 = std::time::Instant::now();
     let bw = band.bandwidth();
     coll::gather(
         machine,
@@ -301,7 +328,11 @@ fn solve_impl(
     if !want_vectors {
         let ev = ca_dla::tridiag::banded_eigenvalues(&band);
         machine.fence();
-        costs.push("sequential eigensolve", machine.costs_since(&snap));
+        costs.push(
+            "sequential eigensolve",
+            machine.costs_since(&snap),
+            t0.elapsed().as_secs_f64(),
+        );
         return (ev, costs, None);
     }
 
@@ -329,12 +360,21 @@ fn solve_impl(
     let (ev, z) = ca_dla::tridiag::tridiag_eigen(&d, &e);
     machine.charge_flops(machine_proc0(), (6 * (n as u64).pow(3)).div_ceil(p as u64));
     machine.fence();
-    costs.push("sequential eigensolve", machine.costs_since(&snap));
+    costs.push(
+        "sequential eigensolve",
+        machine.costs_since(&snap),
+        t0.elapsed().as_secs_f64(),
+    );
 
     // Back-transformation (§IV.C): V = Q₁⋯Q_m·Z, O(n³) per stage.
     let snap = machine.snapshot();
+    let t0 = std::time::Instant::now();
     let v = crate::transforms::back_transform(machine, &Grid::all(p), &log, &z);
-    costs.push("back-transformation", machine.costs_since(&snap));
+    costs.push(
+        "back-transformation",
+        machine.costs_since(&snap),
+        t0.elapsed().as_secs_f64(),
+    );
 
     (ev, costs, Some(v))
 }
@@ -442,6 +482,10 @@ mod tests {
         let ledger = m.report();
         assert_eq!(total.horizontal_words, ledger.horizontal_words);
         assert_eq!(total.supersteps, ledger.supersteps);
+        // Every stage carries a measured wall-clock sample.
+        assert_eq!(stages.wall_secs.len(), stages.stages.len());
+        assert!(stages.wall_secs.iter().all(|w| *w >= 0.0));
+        assert!(stages.wall_seconds("") >= stages.wall_seconds("full-to-band"));
     }
 
     #[test]

@@ -69,6 +69,25 @@ impl BandedSym {
         self.data.len()
     }
 
+    /// The raw band slab: entry `(i, j)` with `j ≤ i ≤ j + cap` lives at
+    /// `bands()[j·(cap+1) + (i−j)]` (column-major lower bands). Exposed
+    /// for kernels that stream the bands directly (e.g. the row-sliced
+    /// parallel [`crate::sym::symv_banded`]).
+    #[inline]
+    pub fn bands(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw band slab together with the scale high-water mark,
+    /// for crate kernels that stream bands directly (the zero-copy
+    /// chase write-back). Callers take over [`BandedSym::set`]'s
+    /// contract: raise the scale to cover every value written, and
+    /// never store a non-negligible value beyond the capacity.
+    #[inline]
+    pub(crate) fn bands_mut_scale(&mut self) -> (&mut [f64], &mut f64) {
+        (&mut self.data, &mut self.scale)
+    }
+
     /// Entry `(i, j)`; symmetric access (either triangle).
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> f64 {

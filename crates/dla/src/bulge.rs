@@ -13,15 +13,40 @@
 //!   numerics are identical; the distributed versions additionally
 //!   schedule operations into the paper's pipeline *phases*
 //!   (`2i + j = const`, cf. Figure 2) and charge communication.
-//! * [`execute_chase`] — apply one chase to a [`BandedSym`] via a dense
-//!   symmetric window (extract, QR, two-sided update per Eqn. IV.1,
-//!   write back).
+//! * [`execute_chase`] — apply one chase to a [`BandedSym`] in place:
+//!   the zero-copy engine factors the QR block and updates the affected
+//!   band strip directly through [`crate::workspace`] arena buffers and
+//!   [`crate::view`] views, with no dense-window materialization and no
+//!   steady-state heap allocation. The seed's dense-window path is kept
+//!   as [`execute_chase_reference`]; the two are bitwise identical (see
+//!   DESIGN.md §"kernel engine") and [`set_zero_copy_enabled`] switches
+//!   between them at runtime for A/B benchmarking and oracle tests.
 //! * [`reduce_band`] — run the whole plan sequentially.
 
 use crate::band::BandedSym;
-use crate::gemm::{gemm, matmul, Trans};
+use crate::gemm::{gemm, gemm_view, gemm_view_hinted, matmul, Trans};
 use crate::matrix::Matrix;
-use crate::qr::qr_factor;
+use crate::qr::{form_t_view, qr_factor, qr_inplace};
+use crate::view::{MatrixView, MatrixViewMut};
+use crate::workspace::{with_ws, Workspace};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Runtime toggle between the zero-copy chase engine (default) and the
+/// seed's dense-window reference path.
+static ZERO_COPY: AtomicBool = AtomicBool::new(true);
+
+/// Enable or disable the zero-copy chase engine. The reference path
+/// produces bitwise identical band matrices and `(U, T)` factors — the
+/// toggle exists for A/B benchmarking and for the equivalence oracles
+/// in `tests/kernel_equivalence.rs`.
+pub fn set_zero_copy_enabled(on: bool) {
+    ZERO_COPY.store(on, Ordering::SeqCst);
+}
+
+/// Whether the zero-copy chase engine is active.
+pub fn zero_copy_enabled() -> bool {
+    ZERO_COPY.load(Ordering::SeqCst)
+}
 
 /// One bulge-chase operation of Algorithm IV.2, with the paper's index
 /// ranges translated to 0-based half-open ranges.
@@ -146,7 +171,11 @@ pub fn chase_plan_to(n: usize, b: usize, h: usize) -> Vec<ChaseOp> {
 /// Returns the flop-relevant shapes `(nr, h, nc)` so callers can charge
 /// costs.
 pub fn chase_window_update(d: &mut Matrix, op: &ChaseOp) -> (usize, usize, usize) {
-    let _ = chase_window_update_factors(d, op);
+    if zero_copy_enabled() {
+        with_ws(|ws| chase_dense_fast(d, op, ws, false));
+    } else {
+        let _ = chase_window_update_factors_reference(d, op);
+    }
     (op.nr(), op.h(), op.nc())
 }
 
@@ -155,6 +184,18 @@ pub fn chase_window_update(d: &mut Matrix, op: &ChaseOp) -> (usize, usize, usize
 /// global rows `op.qr_rows`) — the record needed for eigenvector
 /// back-transformation.
 pub fn chase_window_update_factors(d: &mut Matrix, op: &ChaseOp) -> (Matrix, Matrix) {
+    if zero_copy_enabled() {
+        with_ws(|ws| chase_dense_fast(d, op, ws, true)).expect("recording chase returns factors")
+    } else {
+        chase_window_update_factors_reference(d, op)
+    }
+}
+
+/// The seed's dense-window chase: extract copies of the QR block and
+/// update panels with `block`/`set_block`, allocate every temporary.
+/// Kept verbatim as the bitwise oracle for the zero-copy engine and as
+/// the "before" leg of the stage-time benchmarks.
+pub fn chase_window_update_factors_reference(d: &mut Matrix, op: &ChaseOp) -> (Matrix, Matrix) {
     let (lo, _hi) = op.window();
     let nr = op.nr();
     let h = op.h();
@@ -203,21 +244,474 @@ pub fn chase_window_update_factors(d: &mut Matrix, op: &ChaseOp) -> (Matrix, Mat
     (f.u, f.t)
 }
 
-/// Apply one chase operation to a banded matrix (extract window, update,
-/// write back).
+/// Zero-copy dense-window chase: the same arithmetic as
+/// [`chase_window_update_factors_reference`] — bitwise identical output
+/// — but factoring the QR block in place inside the window and
+/// accumulating the rank-2k updates straight into `d`, with every
+/// temporary checked out of the arena `ws`. With `record == false` the
+/// steady state allocates nothing.
+fn chase_dense_fast(
+    d: &mut Matrix,
+    op: &ChaseOp,
+    ws: &mut Workspace,
+    record: bool,
+) -> Option<(Matrix, Matrix)> {
+    let (lo, _hi) = op.window();
+    let nr = op.nr();
+    let h = op.h();
+    let nc = op.nc();
+    let ov = op.ov;
+    let qr_r = op.qr_rows.0 - lo;
+    let qr_c = op.qr_cols.0 - lo;
+    let up_c = op.up_cols.0 - lo;
+    let kk = nr.min(h);
+
+    // Line 16: [U, T, R] ← QR(B[I_qr.rs, I_qr.cs]), factored in place —
+    // afterwards the window block holds R above the diagonal and the
+    // reflector tails below it.
+    let mut taus = ws.take(kk);
+    qr_inplace(&mut d.subview_mut(qr_r, qr_c, nr, h), h.clamp(1, 32), &mut taus, ws);
+
+    let mut u = ws.take(nr * kk);
+    {
+        let blk = d.subview(qr_r, qr_c, nr, h);
+        for j in 0..kk {
+            u[j * kk + j] = 1.0;
+            for i in j + 1..nr {
+                u[i * kk + j] = blk.get(i, j);
+            }
+        }
+    }
+    let mut t = ws.take(kk * kk);
+    form_t_view(
+        &MatrixView::from_slice(&u, nr, kk),
+        &taus,
+        &mut MatrixViewMut::from_slice(&mut t, kk, kk),
+        ws,
+    );
+
+    // Line 17: zero the reflector tails so the block reads [R; 0], and
+    // mirror it (the QR block sits strictly below the mirror — the two
+    // regions are disjoint).
+    for i in 1..nr {
+        for j in 0..i.min(kk) {
+            d.set(qr_r + i, qr_c + j, 0.0);
+        }
+    }
+    for i in 0..nr {
+        for j in 0..h {
+            let val = d.get(qr_r + i, qr_c + j);
+            d.set(qr_c + j, qr_r + i, val);
+        }
+    }
+
+    // Line 19: W = B[I_up.cs, I_qr.rs]·U·T and V = −W, the negation
+    // fused into the copy-out instead of clone-then-scale.
+    let mut bu = ws.take(nc * kk);
+    gemm_view(
+        1.0,
+        &d.subview(up_c, qr_r, nc, nr),
+        Trans::N,
+        &MatrixView::from_slice(&u, nr, kk),
+        Trans::N,
+        0.0,
+        &mut MatrixViewMut::from_slice(&mut bu, nc, kk),
+    );
+    let mut w = ws.take(nc * kk);
+    gemm_view(
+        1.0,
+        &MatrixView::from_slice(&bu, nc, kk),
+        Trans::N,
+        &MatrixView::from_slice(&t, kk, kk),
+        Trans::N,
+        0.0,
+        &mut MatrixViewMut::from_slice(&mut w, nc, kk),
+    );
+    let mut v = ws.take(nc * kk);
+    for (vv, &wv) in v.iter_mut().zip(w.iter()) {
+        *vv = -wv;
+    }
+
+    // Line 20: V[I_v.rs, :] += ½·U·(Tᵀ·(Uᵀ·W[I_v.rs, :])), reading
+    // W's symmetric rows through a strided view instead of a copy.
+    let mut utw = ws.take(kk * kk);
+    gemm_view(
+        1.0,
+        &MatrixView::from_slice(&u, nr, kk),
+        Trans::T,
+        &MatrixView::from_slice(&w, nc, kk).sub(ov, 0, nr, kk),
+        Trans::N,
+        0.0,
+        &mut MatrixViewMut::from_slice(&mut utw, kk, kk),
+    );
+    let mut ttutw = ws.take(kk * kk);
+    gemm_view(
+        1.0,
+        &MatrixView::from_slice(&t, kk, kk),
+        Trans::T,
+        &MatrixView::from_slice(&utw, kk, kk),
+        Trans::N,
+        0.0,
+        &mut MatrixViewMut::from_slice(&mut ttutw, kk, kk),
+    );
+    let mut corr = ws.take(nr * kk);
+    gemm_view(
+        1.0,
+        &MatrixView::from_slice(&u, nr, kk),
+        Trans::N,
+        &MatrixView::from_slice(&ttutw, kk, kk),
+        Trans::N,
+        0.0,
+        &mut MatrixViewMut::from_slice(&mut corr, nr, kk),
+    );
+    for a in 0..nr {
+        for c in 0..kk {
+            v[(ov + a) * kk + c] += 0.5 * corr[a * kk + c];
+        }
+    }
+
+    // Lines 21–22: accumulate B[I_qr.rs, I_up.cs] += U·Vᵀ and
+    // B[I_up.cs, I_qr.rs] += V·Uᵀ directly into the window, in the
+    // reference's order (the second read-modify-writes the diagonal
+    // square the first already touched).
+    gemm_view(
+        1.0,
+        &MatrixView::from_slice(&u, nr, kk),
+        Trans::N,
+        &MatrixView::from_slice(&v, nc, kk),
+        Trans::T,
+        1.0,
+        &mut d.subview_mut(qr_r, up_c, nr, nc),
+    );
+    gemm_view(
+        1.0,
+        &MatrixView::from_slice(&v, nc, kk),
+        Trans::N,
+        &MatrixView::from_slice(&u, nr, kk),
+        Trans::T,
+        1.0,
+        &mut d.subview_mut(up_c, qr_r, nc, nr),
+    );
+
+    let out = if record {
+        Some((Matrix::from_vec(nr, kk, u.clone()), Matrix::from_vec(kk, kk, t.clone())))
+    } else {
+        None
+    };
+    ws.put(corr);
+    ws.put(ttutw);
+    ws.put(utw);
+    ws.put(v);
+    ws.put(w);
+    ws.put(bu);
+    ws.put(t);
+    ws.put(u);
+    ws.put(taus);
+    out
+}
+
+/// Zero-copy banded chase: operate on the band storage directly, never
+/// materializing the dense symmetric window. Only the `nr × h` QR block
+/// and the `nc × nr` update strip `B[I_up.cs, I_qr.rs]` are gathered
+/// (into arena buffers); the rank-2k update runs on the strip and each
+/// symmetric pair is written back exactly once, from the orientation
+/// whose floating-point accumulation order matches the cell the
+/// reference path's `set_window` persists (the globally *lower* one) —
+/// see DESIGN.md §"kernel engine" for the case analysis. Bitwise
+/// identical to [`execute_chase_reference`].
+fn chase_banded_fast(
+    bmat: &mut BandedSym,
+    op: &ChaseOp,
+    ws: &mut Workspace,
+    record: bool,
+) -> Option<(Matrix, Matrix)> {
+    let nr = op.nr();
+    let h = op.h();
+    let nc = op.nc();
+    let ov = op.ov;
+    let qr_r0 = op.qr_rows.0;
+    let qr_c0 = op.qr_cols.0;
+    let up_c0 = op.up_cols.0;
+    let kk = nr.min(h);
+
+    // Line 16: gather the QR block from the band (symmetric read, 0.0
+    // beyond capacity — exactly the window materialization values) and
+    // factor it in the arena.
+    let mut blk = ws.take(nr * h);
+    for i in 0..nr {
+        for j in 0..h {
+            blk[i * h + j] = bmat.get(qr_r0 + i, qr_c0 + j);
+        }
+    }
+    let mut taus = ws.take(kk);
+    qr_inplace(&mut MatrixViewMut::from_slice(&mut blk, nr, h), h.clamp(1, 32), &mut taus, ws);
+
+    let mut u = ws.take(nr * kk);
+    for j in 0..kk {
+        u[j * kk + j] = 1.0;
+        for i in j + 1..nr {
+            u[i * kk + j] = blk[i * h + j];
+        }
+    }
+    let mut t = ws.take(kk * kk);
+    form_t_view(
+        &MatrixView::from_slice(&u, nr, kk),
+        &taus,
+        &mut MatrixViewMut::from_slice(&mut t, kk, kk),
+        ws,
+    );
+
+    // Line 17: write [R; 0] back. Every QR-block entry is globally
+    // lower (qr_rows.0 ≥ qr_cols.0 + h), so this covers the mirror too.
+    for i in 0..nr {
+        for j in 0..h {
+            let val = if i < kk && j >= i { blk[i * h + j] } else { 0.0 };
+            bmat.set(qr_r0 + i, qr_c0 + j, val);
+        }
+    }
+
+    // Gather the update strip P = B[I_up.cs, I_qr.rs] (disjoint from the
+    // QR block in band storage, so gathering after the R write is safe).
+    // Strip cell (r, c) is global (up_c0+r, qr_r0+c); instead of per-cell
+    // symmetric `get` (orientation branch + capacity branch each), stream
+    // the two triangles straight off the band slab: globally-upper cells
+    // (r < ov + c) sit mirror-contiguous along each strip row, lower
+    // cells run contiguously down each stored column. Cells beyond the
+    // capacity stay at the arena's 0.0 fill — the value `get` returns.
+    let cap = bmat.capacity();
+    let bw = cap + 1;
+    let mut p1 = ws.take(nc * nr);
+    {
+        let slab = bmat.bands();
+        for r in 0..nc.min(ov + nr) {
+            let c0 = (r + 1).saturating_sub(ov).min(nr);
+            let c1 = nr.min((cap + r + 1).saturating_sub(ov));
+            if c0 < c1 {
+                let base = (up_c0 + r) * bw + (ov + c0 - r);
+                p1[r * nr + c0..r * nr + c1].copy_from_slice(&slab[base..base + (c1 - c0)]);
+            }
+        }
+        for c in 0..nr {
+            let r0 = ov + c;
+            if r0 >= nc {
+                break;
+            }
+            let r1 = nc.min(r0 + bw);
+            let base = (qr_r0 + c) * bw;
+            for (d, r) in (r0..r1).enumerate() {
+                p1[r * nr + c] = slab[base + d];
+            }
+        }
+    }
+
+    // Line 19: W = P·U·T, V = −W fused.
+    let mut bu = ws.take(nc * kk);
+    gemm_view(
+        1.0,
+        &MatrixView::from_slice(&p1, nc, nr),
+        Trans::N,
+        &MatrixView::from_slice(&u, nr, kk),
+        Trans::N,
+        0.0,
+        &mut MatrixViewMut::from_slice(&mut bu, nc, kk),
+    );
+    let mut w = ws.take(nc * kk);
+    gemm_view(
+        1.0,
+        &MatrixView::from_slice(&bu, nc, kk),
+        Trans::N,
+        &MatrixView::from_slice(&t, kk, kk),
+        Trans::N,
+        0.0,
+        &mut MatrixViewMut::from_slice(&mut w, nc, kk),
+    );
+    let mut v = ws.take(nc * kk);
+    for (vv, &wv) in v.iter_mut().zip(w.iter()) {
+        *vv = -wv;
+    }
+
+    // Line 20: symmetric correction on V's rows ov..ov+nr.
+    let mut utw = ws.take(kk * kk);
+    gemm_view(
+        1.0,
+        &MatrixView::from_slice(&u, nr, kk),
+        Trans::T,
+        &MatrixView::from_slice(&w, nc, kk).sub(ov, 0, nr, kk),
+        Trans::N,
+        0.0,
+        &mut MatrixViewMut::from_slice(&mut utw, kk, kk),
+    );
+    let mut ttutw = ws.take(kk * kk);
+    gemm_view(
+        1.0,
+        &MatrixView::from_slice(&t, kk, kk),
+        Trans::T,
+        &MatrixView::from_slice(&utw, kk, kk),
+        Trans::N,
+        0.0,
+        &mut MatrixViewMut::from_slice(&mut ttutw, kk, kk),
+    );
+    let mut corr = ws.take(nr * kk);
+    gemm_view(
+        1.0,
+        &MatrixView::from_slice(&u, nr, kk),
+        Trans::N,
+        &MatrixView::from_slice(&ttutw, kk, kk),
+        Trans::N,
+        0.0,
+        &mut MatrixViewMut::from_slice(&mut corr, nr, kk),
+    );
+    for a in 0..nr {
+        for c in 0..kk {
+            v[(ov + a) * kk + c] += 0.5 * corr[a * kk + c];
+        }
+    }
+
+    // Line 21 restricted to the strip: of B[I_qr.rs, I_up.cs] += U·Vᵀ
+    // only the diagonal square (columns ov..ov+nr of the update) lands
+    // on pairs the strip holds; accumulate it into P's rows ov..ov+nr
+    // *before* line 22, reproducing the reference's per-cell addition
+    // order on the persisted orientation. The shape hint pins the
+    // reference's full-shape (nr × nc × kk) kernel choice.
+    {
+        let mut p1v = MatrixViewMut::from_slice(&mut p1, nc, nr);
+        gemm_view_hinted(
+            1.0,
+            &MatrixView::from_slice(&u, nr, kk),
+            Trans::N,
+            &MatrixView::from_slice(&v, nc, kk).sub(ov, 0, nr, kk),
+            Trans::T,
+            1.0,
+            &mut p1v.sub_mut(ov, 0, nr, nr),
+            (nr, nc, kk),
+        );
+    }
+    // Line 22: B[I_up.cs, I_qr.rs] += V·Uᵀ, the strip's own orientation.
+    gemm_view(
+        1.0,
+        &MatrixView::from_slice(&v, nc, kk),
+        Trans::N,
+        &MatrixView::from_slice(&u, nr, kk),
+        Trans::T,
+        1.0,
+        &mut MatrixViewMut::from_slice(&mut p1, nc, nr),
+    );
+
+    // Write each symmetric pair back exactly once:
+    // * rows r < ov are globally upper with no mirror in the strip —
+    //   single-term cells, bitwise equal to the lower value the
+    //   reference persists;
+    // * rows r ≥ ov are lower iff r − ov ≥ c; the lower cell carries the
+    //   reference's (line 21 then line 22) accumulation order, its upper
+    //   mirror the swapped order — skip the mirror.
+    //
+    // As in the gather, stream straight onto the band slab (mirror rows
+    // for r < ov, stored columns for the lower triangle), maintaining
+    // `set`'s scale high-water and its fill-analysis check: a value the
+    // capacity cannot hold must be negligible against the scale.
+    {
+        let (slab, scale) = bmat.bands_mut_scale();
+        let mut smax = *scale;
+        for r in 0..ov.min(nc) {
+            let c1 = nr.min((cap + r + 1).saturating_sub(ov));
+            let base = (up_c0 + r) * bw + (ov - r);
+            for (c, &vv) in p1[r * nr..r * nr + c1].iter().enumerate() {
+                if vv.abs() > smax {
+                    smax = vv.abs();
+                }
+                slab[base + c] = vv;
+            }
+            for (c, &vv) in p1[r * nr + c1..r * nr + nr].iter().enumerate() {
+                assert!(
+                    vv.abs() < 1e-9 * smax.max(1.0),
+                    "write of {vv:.3e} outside band capacity at ({},{}): fill analysis violated",
+                    up_c0 + r,
+                    qr_r0 + c1 + c,
+                );
+            }
+        }
+        for c in 0..nr {
+            let r0 = ov + c;
+            if r0 >= nc {
+                break;
+            }
+            let r1 = nc.min(r0 + bw);
+            let base = (qr_r0 + c) * bw;
+            for (d, r) in (r0..r1).enumerate() {
+                let vv = p1[r * nr + c];
+                if vv.abs() > smax {
+                    smax = vv.abs();
+                }
+                slab[base + d] = vv;
+            }
+            for r in r1..nc {
+                let vv = p1[r * nr + c];
+                assert!(
+                    vv.abs() < 1e-9 * smax.max(1.0),
+                    "write of {vv:.3e} outside band capacity at ({},{}): fill analysis violated",
+                    up_c0 + r,
+                    qr_r0 + c,
+                );
+            }
+        }
+        *scale = smax;
+    }
+
+    let out = if record {
+        Some((Matrix::from_vec(nr, kk, u.clone()), Matrix::from_vec(kk, kk, t.clone())))
+    } else {
+        None
+    };
+    ws.put(corr);
+    ws.put(ttutw);
+    ws.put(utw);
+    ws.put(v);
+    ws.put(w);
+    ws.put(bu);
+    ws.put(p1);
+    ws.put(t);
+    ws.put(u);
+    ws.put(taus);
+    ws.put(blk);
+    out
+}
+
+/// Apply one chase operation to a banded matrix. The zero-copy engine
+/// updates the band in place through arena-backed strips; with the
+/// engine disabled this falls back to [`execute_chase_reference`]
+/// (bitwise identical results either way).
 pub fn execute_chase(bmat: &mut BandedSym, op: &ChaseOp) {
+    if zero_copy_enabled() {
+        with_ws(|ws| chase_banded_fast(bmat, op, ws, false));
+    } else {
+        execute_chase_reference(bmat, op);
+    }
+}
+
+/// The seed's chase executor: materialize the dense symmetric window,
+/// update it, write the lower triangle back.
+pub fn execute_chase_reference(bmat: &mut BandedSym, op: &ChaseOp) {
     let (lo, hi) = op.window();
     let mut d = bmat.window(lo, hi);
-    chase_window_update(&mut d, op);
+    let _ = chase_window_update_factors_reference(&mut d, op);
     bmat.set_window(lo, &d);
 }
 
 /// [`execute_chase`], additionally returning the chase's Householder
 /// factors `(U, T)` acting on global rows `op.qr_rows`.
 pub fn execute_chase_recording(bmat: &mut BandedSym, op: &ChaseOp) -> (Matrix, Matrix) {
+    if zero_copy_enabled() {
+        with_ws(|ws| chase_banded_fast(bmat, op, ws, true)).expect("recording chase returns factors")
+    } else {
+        execute_chase_recording_reference(bmat, op)
+    }
+}
+
+/// Reference-path [`execute_chase_recording`] (dense window, allocating).
+pub fn execute_chase_recording_reference(bmat: &mut BandedSym, op: &ChaseOp) -> (Matrix, Matrix) {
     let (lo, hi) = op.window();
     let mut d = bmat.window(lo, hi);
-    let factors = chase_window_update_factors(&mut d, op);
+    let factors = chase_window_update_factors_reference(&mut d, op);
     bmat.set_window(lo, &d);
     factors
 }

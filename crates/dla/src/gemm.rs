@@ -17,8 +17,16 @@
 //! Row blocks of `C` are distributed over rayon threads — distinct `MC`
 //! slabs write disjoint output rows. Small products skip the blocking
 //! machinery entirely and use a fused `i-l-j` loop.
+//!
+//! Every path is generic over row strides: [`gemm_view`] accepts
+//! [`MatrixView`] operands and a [`MatrixViewMut`] accumulation target,
+//! so the bulge-chase and QR kernels multiply directly into sub-blocks
+//! of a larger matrix with no `block`/`set_block` copies. The
+//! [`Matrix`]-based [`gemm`] is a thin wrapper over the same core (a
+//! full view has `stride == cols`), so its numerics are unchanged.
 
 use crate::matrix::Matrix;
+use crate::view::{MatrixView, MatrixViewMut};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -62,6 +70,58 @@ pub fn set_blocked_enabled(on: bool) {
 ///
 /// Panics if the operand shapes are inconsistent with `C`.
 pub fn gemm(alpha: f64, a: &Matrix, ta: Trans, b: &Matrix, tb: Trans, beta: f64, c: &mut Matrix) {
+    gemm_view(alpha, &a.view(), ta, &b.view(), tb, beta, &mut c.view_mut());
+}
+
+/// [`gemm`] over strided views: `C ← α·op(A)·op(B) + β·C` accumulated
+/// in place into a [`MatrixViewMut`] — the zero-copy entry used by the
+/// QR trailing updates and the bulge-chase rank-2 updates.
+pub fn gemm_view(
+    alpha: f64,
+    a: &MatrixView,
+    ta: Trans,
+    b: &MatrixView,
+    tb: Trans,
+    beta: f64,
+    c: &mut MatrixViewMut,
+) {
+    let (m, n, k) = check_shapes(a, ta, b, tb, c);
+    gemm_dispatch(alpha, a, ta, b, tb, beta, c, (m, n, k));
+}
+
+/// [`gemm_view`] with the small-vs-blocked kernel choice made as if the
+/// product had shape `full_shape = (m, n, k)`.
+///
+/// Used by callers that shrink a product's output to just the cells they
+/// need (the bulge chase's diagonal-overlap update computes only the
+/// `nr × nr` corner of the reference path's `nr × nc` rank-2k update)
+/// but must keep the full product's kernel selection so each shared
+/// output cell sees bitwise the same accumulation as the reference.
+/// Per-cell results of both kernels are independent of which *other*
+/// columns are present; only the small/blocked decision depends on the
+/// total shape, which is what the hint pins down.
+#[allow(clippy::too_many_arguments)] // mirrors gemm_view's BLAS-shaped signature + the hint
+pub fn gemm_view_hinted(
+    alpha: f64,
+    a: &MatrixView,
+    ta: Trans,
+    b: &MatrixView,
+    tb: Trans,
+    beta: f64,
+    c: &mut MatrixViewMut,
+    full_shape: (usize, usize, usize),
+) {
+    check_shapes(a, ta, b, tb, c);
+    gemm_dispatch(alpha, a, ta, b, tb, beta, c, full_shape);
+}
+
+fn check_shapes(
+    a: &MatrixView,
+    ta: Trans,
+    b: &MatrixView,
+    tb: Trans,
+    c: &MatrixViewMut,
+) -> (usize, usize, usize) {
     let (m, k) = match ta {
         Trans::N => (a.rows(), a.cols()),
         Trans::T => (a.cols(), a.rows()),
@@ -73,7 +133,25 @@ pub fn gemm(alpha: f64, a: &Matrix, ta: Trans, b: &Matrix, tb: Trans, beta: f64,
     assert_eq!(k, k2, "gemm: inner dimensions disagree");
     assert_eq!(c.rows(), m, "gemm: output row count disagrees");
     assert_eq!(c.cols(), n, "gemm: output column count disagrees");
-    if m == 0 || n == 0 {
+    (m, n, k)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gemm_dispatch(
+    alpha: f64,
+    a: &MatrixView,
+    ta: Trans,
+    b: &MatrixView,
+    tb: Trans,
+    beta: f64,
+    c: &mut MatrixViewMut,
+    decision_shape: (usize, usize, usize),
+) {
+    let k = match ta {
+        Trans::N => a.cols(),
+        Trans::T => a.rows(),
+    };
+    if c.rows() == 0 || c.cols() == 0 {
         return;
     }
 
@@ -82,19 +160,22 @@ pub fn gemm(alpha: f64, a: &Matrix, ta: Trans, b: &Matrix, tb: Trans, beta: f64,
         return;
     }
 
-    if 2 * m * n * k < SMALL_FLOPS || !BLOCKED_ENABLED.load(Ordering::Relaxed) {
+    let (dm, dn, dk) = decision_shape;
+    if 2 * dm * dn * dk < SMALL_FLOPS || !BLOCKED_ENABLED.load(Ordering::Relaxed) {
         gemm_small(alpha, a, ta, b, tb, c);
     } else {
         gemm_blocked(alpha, a, ta, b, tb, c);
     }
 }
 
-/// `C ← β·C`, parallel over rows when large.
-fn scale(beta: f64, c: &mut Matrix) {
+/// `C ← β·C`, parallel over rows when large and contiguous.
+fn scale(beta: f64, c: &mut MatrixViewMut) {
     if beta == 1.0 {
         return;
     }
+    let rows = c.rows();
     let n = c.cols().max(1);
+    let stride = c.stride();
     let body = |row: &mut [f64]| {
         if beta == 0.0 {
             row.fill(0.0);
@@ -104,10 +185,18 @@ fn scale(beta: f64, c: &mut Matrix) {
             }
         }
     };
-    if c.rows() >= PAR_ROWS {
-        c.data_mut().par_chunks_mut(n).for_each(body);
+    if stride == n {
+        let len = rows * n;
+        let data = &mut c.data_mut()[..len];
+        if rows >= PAR_ROWS {
+            data.par_chunks_mut(n).for_each(body);
+        } else {
+            data.chunks_mut(n).for_each(body);
+        }
     } else {
-        c.data_mut().chunks_mut(n).for_each(body);
+        for i in 0..rows {
+            body(c.row_mut(i));
+        }
     }
 }
 
@@ -119,10 +208,10 @@ struct Operand<'a> {
 }
 
 impl<'a> Operand<'a> {
-    fn new(mat: &'a Matrix, tr: Trans) -> Self {
+    fn new(view: &MatrixView<'a>, tr: Trans) -> Self {
         Self {
-            data: mat.data(),
-            ld: mat.cols(),
+            data: view.data(),
+            ld: view.stride(),
             t: matches!(tr, Trans::T),
         }
     }
@@ -140,15 +229,18 @@ impl<'a> Operand<'a> {
 /// Fused `i-l-j` kernel for small products (`C` pre-scaled by β):
 /// unit-stride accumulation over `C` rows, operand transposes read in
 /// place.
-fn gemm_small(alpha: f64, a: &Matrix, ta: Trans, b: &Matrix, tb: Trans, c: &mut Matrix) {
-    let n = c.cols();
+fn gemm_small(alpha: f64, a: &MatrixView, ta: Trans, b: &MatrixView, tb: Trans, c: &mut MatrixViewMut) {
+    let (m, n) = (c.rows(), c.cols());
+    let cs = c.stride();
     let k = match ta {
         Trans::N => a.cols(),
         Trans::T => a.rows(),
     };
     let av = Operand::new(a, ta);
     let bv = Operand::new(b, tb);
-    for (i, c_row) in c.data_mut().chunks_mut(n).enumerate() {
+    let data = c.data_mut();
+    for i in 0..m {
+        let c_row = &mut data[i * cs..i * cs + n];
         for l in 0..k {
             let f = alpha * av.get(i, l);
             if f == 0.0 {
@@ -227,9 +319,13 @@ fn micro_kernel(kb: usize, pa: &[f64], pb: &[f64], acc: &mut [[f64; NR]; MR]) {
     }
 }
 
-/// The three-level blocked path (`C` pre-scaled by β).
-fn gemm_blocked(alpha: f64, a: &Matrix, ta: Trans, b: &Matrix, tb: Trans, c: &mut Matrix) {
+/// The three-level blocked path (`C` pre-scaled by β). Works on strided
+/// `C`: row indexing uses the view stride, and each `MC`-row slab still
+/// covers disjoint output rows (`cols ≤ stride`, so slab boundaries at
+/// multiples of `MC·stride` never split a row's live columns).
+fn gemm_blocked(alpha: f64, a: &MatrixView, ta: Trans, b: &MatrixView, tb: Trans, c: &mut MatrixViewMut) {
     let (m, n) = (c.rows(), c.cols());
+    let cs = c.stride();
     let k = match ta {
         Trans::N => a.cols(),
         Trans::T => a.rows(),
@@ -252,7 +348,9 @@ fn gemm_blocked(alpha: f64, a: &Matrix, ta: Trans, b: &Matrix, tb: Trans, c: &mu
             // Each MC-row slab of C is owned by exactly one task.
             let do_slab = |blk: usize, slab: &mut [f64]| {
                 let i0 = blk * MC;
-                let mb = slab.len() / n;
+                // The final slab may end at its last row's `n`-th column
+                // rather than a full stride, hence the ceiling division.
+                let mb = slab.len().div_ceil(cs);
                 let mut apack = vec![0.0f64; mb.div_ceil(MR) * MR * kb];
                 pack_a(&mut apack, av, i0, pc, mb, kb);
                 for s in 0..mb.div_ceil(MR) {
@@ -265,7 +363,7 @@ fn gemm_blocked(alpha: f64, a: &Matrix, ta: Trans, b: &Matrix, tb: Trans, c: &mu
                         micro_kernel(kb, pa, pb, &mut acc);
                         let col0 = jc + t * NR;
                         for r in 0..mr_eff {
-                            let row = &mut slab[(s * MR + r) * n + col0..][..nr_eff];
+                            let row = &mut slab[(s * MR + r) * cs + col0..][..nr_eff];
                             for (cv, &x) in row.iter_mut().zip(&acc[r][..nr_eff]) {
                                 *cv += alpha * x;
                             }
@@ -274,13 +372,14 @@ fn gemm_blocked(alpha: f64, a: &Matrix, ta: Trans, b: &Matrix, tb: Trans, c: &mu
                 }
             };
 
+            let live = (m - 1) * cs + n;
+            let data = &mut c.data_mut()[..live];
             if m > MC {
-                c.data_mut()
-                    .par_chunks_mut(MC * n)
+                data.par_chunks_mut(MC * cs)
                     .enumerate()
                     .for_each(|(blk, slab)| do_slab(blk, slab));
             } else {
-                do_slab(0, c.data_mut());
+                do_slab(0, data);
             }
         }
     }

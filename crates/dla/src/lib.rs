@@ -16,7 +16,10 @@
 //!   Sturm-sequence bisection ([`tridiag`], [`sturm`]),
 //! * reproducible matrix generators with prescribed spectra ([`gen`]),
 //! * analytic flop / vertical-traffic cost formulas ([`costs`]) used by
-//!   the virtual-BSP layer to charge local work.
+//!   the virtual-BSP layer to charge local work,
+//! * zero-copy strided views and per-thread scratch arenas ([`view`],
+//!   [`workspace`]) that let the hot kernels run in place with no
+//!   steady-state heap allocation (see DESIGN.md §"kernel engine").
 //!
 //! All kernels are pure (no dependency on the cost model); the `ca-pla`
 //! crate wraps them with cost charging when they run on a virtual
@@ -38,8 +41,12 @@ pub mod qr;
 pub mod sturm;
 pub mod sym;
 pub mod tridiag;
+pub mod view;
+pub mod workspace;
 
 pub use band::BandedSym;
 pub use gemm::{gemm, matmul, Trans};
 pub use matrix::Matrix;
 pub use qr::QrFactors;
+pub use view::{MatrixView, MatrixViewMut};
+pub use workspace::Workspace;

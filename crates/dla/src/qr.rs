@@ -7,8 +7,10 @@
 //! reconstruction produces the same `(U, T)` pair, and the two-sided
 //! update identity of Eqn. (IV.1) consumes it.
 
-use crate::gemm::{gemm, matmul, Trans};
+use crate::gemm::{gemm, gemm_view, matmul, Trans};
 use crate::matrix::Matrix;
+use crate::view::{MatrixView, MatrixViewMut};
+use crate::workspace::{with_ws, Workspace};
 
 /// The result of a Householder QR factorization: `A = Q·R` with
 /// `Q = I − U·T·Uᵀ`.
@@ -58,36 +60,112 @@ pub fn house_gen(x: &[f64]) -> (Vec<f64>, f64, f64) {
     (v, tau, beta)
 }
 
-/// Unblocked Householder QR (LAPACK `geqr2` shape): factors `w` in place,
-/// leaving `R` in the upper triangle and the reflector tails below the
-/// diagonal; returns the `tau` scalars.
-fn geqr2(w: &mut Matrix) -> Vec<f64> {
+/// [`house_gen`] operating in place: `v` holds `x` on entry and the
+/// reflector (with `v[0] = 1`) on exit; returns `(tau, beta)`. Bitwise
+/// the same arithmetic as [`house_gen`], minus its allocation.
+fn house_gen_in_place(v: &mut [f64]) -> (f64, f64) {
+    let n = v.len();
+    assert!(n > 0);
+    let alpha = v[0];
+    let sigma2: f64 = v[1..].iter().map(|x| x * x).sum();
+    v[0] = 1.0;
+    if sigma2 == 0.0 {
+        // Already in e₁ direction: H = I (tau = 0) keeps beta = alpha.
+        return (0.0, alpha);
+    }
+    let norm = (alpha * alpha + sigma2).sqrt();
+    let beta = if alpha >= 0.0 { -norm } else { norm };
+    let denom = alpha - beta;
+    for vi in v[1..].iter_mut() {
+        *vi /= denom;
+    }
+    let tau = (beta - alpha) / beta;
+    (tau, beta)
+}
+
+/// `row[c] −= s[c] · vi`, unrolled by 4. Elementwise (no accumulator),
+/// so unrolling cannot reassociate anything.
+#[inline]
+fn axpy_sub(row: &mut [f64], s: &[f64], vi: f64) {
+    let mut rc = row.chunks_exact_mut(4);
+    let mut sc = s.chunks_exact(4);
+    for (r4, s4) in rc.by_ref().zip(sc.by_ref()) {
+        r4[0] -= s4[0] * vi;
+        r4[1] -= s4[1] * vi;
+        r4[2] -= s4[2] * vi;
+        r4[3] -= s4[3] * vi;
+    }
+    for (r, &x) in rc.into_remainder().iter_mut().zip(sc.remainder()) {
+        *r -= x * vi;
+    }
+}
+
+/// `acc[c] += row[c] · vi`, unrolled by 4 (elementwise over `c`; each
+/// `acc[c]` still receives its terms in the same caller-defined order).
+#[inline]
+fn axpy_add(acc: &mut [f64], row: &[f64], vi: f64) {
+    let mut ac = acc.chunks_exact_mut(4);
+    let mut rc = row.chunks_exact(4);
+    for (a4, r4) in ac.by_ref().zip(rc.by_ref()) {
+        a4[0] += r4[0] * vi;
+        a4[1] += r4[1] * vi;
+        a4[2] += r4[2] * vi;
+        a4[3] += r4[3] * vi;
+    }
+    for (a, &x) in ac.into_remainder().iter_mut().zip(rc.remainder()) {
+        *a += x * vi;
+    }
+}
+
+/// Unblocked Householder QR (LAPACK `geqr2` shape) on a strided view:
+/// factors `w` in place, leaving `R` in the upper triangle and the
+/// reflector tails below the diagonal; writes the `tau` scalars into
+/// `taus` (length `min(m, n)`).
+///
+/// The trailing update is a vectorized *row sweep*: the per-column dot
+/// products `s[c] = Σ_off v[off]·W[j+off][c]` are accumulated row by row
+/// over contiguous row slices. Each `s[c]` receives its terms in
+/// ascending `off` order — exactly the order of the scalar per-column
+/// loop it replaces — and the rank-1 update is elementwise, so the
+/// result is bitwise identical to the seed kernel.
+pub(crate) fn geqr2_view(w: &mut MatrixViewMut, taus: &mut [f64], ws: &mut Workspace) {
     let (m, n) = (w.rows(), w.cols());
     let k = m.min(n);
-    let mut taus = Vec::with_capacity(k);
+    assert_eq!(taus.len(), k);
+    let mut v = ws.take(m);
+    let mut s = ws.take(n);
     for j in 0..k {
-        let x: Vec<f64> = (j..m).map(|i| w.get(i, j)).collect();
-        let (v, tau, beta) = house_gen(&x);
-        // Apply H = I − tau·v·vᵀ to the trailing columns.
-        if tau != 0.0 {
-            for c in j + 1..n {
-                let mut dot = 0.0;
-                for (off, vi) in v.iter().enumerate() {
-                    dot += vi * w.get(j + off, c);
-                }
-                let s = tau * dot;
-                for (off, vi) in v.iter().enumerate() {
-                    w.add_to(j + off, c, -s * vi);
-                }
+        let vj = &mut v[..m - j];
+        for (off, slot) in vj.iter_mut().enumerate() {
+            *slot = w.get(j + off, j);
+        }
+        let (tau, beta) = house_gen_in_place(vj);
+        // Apply H = I − tau·v·vᵀ to the trailing columns. Columns are
+        // independent, so sweeping all dots before all updates performs
+        // the same arithmetic as the column-at-a-time loop.
+        if tau != 0.0 && j + 1 < n {
+            let sw = &mut s[..n - j - 1];
+            sw.fill(0.0);
+            for (off, &vi) in vj.iter().enumerate() {
+                let row = &w.row(j + off)[j + 1..n];
+                axpy_add(sw, row, vi);
+            }
+            for sc in sw.iter_mut() {
+                *sc *= tau;
+            }
+            for (off, &vi) in vj.iter().enumerate() {
+                let row = &mut w.row_mut(j + off)[j + 1..n];
+                axpy_sub(row, &s[..n - j - 1], vi);
             }
         }
         w.set(j, j, beta);
-        for (off, vi) in v.iter().enumerate().skip(1) {
-            w.set(j + off, j, *vi);
+        for (off, &vi) in vj.iter().enumerate().skip(1) {
+            w.set(j + off, j, vi);
         }
-        taus.push(tau);
+        taus[j] = tau;
     }
-    taus
+    ws.put(s);
+    ws.put(v);
 }
 
 /// Form the upper-triangular `T` of the compact-WY representation from
@@ -95,37 +173,49 @@ fn geqr2(w: &mut Matrix) -> Vec<f64> {
 /// forward column-wise).
 pub fn form_t(u: &Matrix, taus: &[f64]) -> Matrix {
     let k = u.cols();
-    assert_eq!(taus.len(), k);
-    let m = u.rows();
     let mut t = Matrix::zeros(k, k);
+    with_ws(|ws| form_t_view(&u.view(), taus, &mut t.view_mut(), ws));
+    t
+}
+
+/// [`form_t`] writing into a caller-provided (zeroed) `k × k` view, with
+/// scratch from `ws`. Row-slice accumulation; per-entry term order
+/// matches the scalar loops (ascending `c` within ascending `i`), so the
+/// result is bitwise identical.
+pub(crate) fn form_t_view(u: &MatrixView, taus: &[f64], t: &mut MatrixViewMut, ws: &mut Workspace) {
+    let k = u.cols();
+    assert_eq!(taus.len(), k);
+    assert_eq!((t.rows(), t.cols()), (k, k));
+    let m = u.rows();
+    let mut w = ws.take(k);
     for j in 0..k {
         let tau = taus[j];
         t.set(j, j, tau);
         if j > 0 && tau != 0.0 {
             // w = −tau · U[:, 0..j]ᵀ · u_j
-            let mut w = vec![0.0; j];
+            let wj = &mut w[..j];
+            wj.fill(0.0);
             for i in j..m {
                 let uij = u.get(i, j);
                 if uij != 0.0 {
-                    for (c, wc) in w.iter_mut().enumerate() {
-                        *wc += u.get(i, c) * uij;
-                    }
+                    axpy_add(wj, &u.row(i)[..j], uij);
                 }
             }
-            for wc in &mut w {
+            for wc in wj.iter_mut() {
                 *wc *= -tau;
             }
-            // T[0..j, j] = T[0..j, 0..j] · w
+            // T[0..j, j] = T[0..j, 0..j] · w (single accumulator per
+            // entry — same summation order as the scalar kernel).
             for r in 0..j {
                 let mut acc = 0.0;
-                for (c, wc) in w.iter().enumerate().skip(r) {
-                    acc += t.get(r, c) * wc;
+                for (&tv, &wc) in t.row(r)[r..j].iter().zip(&w[r..j]) {
+                    acc += tv * wc;
                 }
                 t.set(r, j, acc);
             }
         }
     }
-    t
+    ws.put(w);
 }
 
 /// Blocked Householder QR of `a` with panel width `nb`.
@@ -147,32 +237,9 @@ pub fn form_t(u: &Matrix, taus: &[f64]) -> Matrix {
 pub fn qr_factor(a: &Matrix, nb: usize) -> QrFactors {
     let (m, n) = (a.rows(), a.cols());
     let k = m.min(n);
-    let nb = nb.max(1);
     let mut w = a.clone();
     let mut taus = vec![0.0; k];
-
-    let mut j0 = 0;
-    while j0 < k {
-        let jb = nb.min(k - j0);
-        // Factor the panel rows j0.., cols j0..j0+jb.
-        let mut panel = w.block(j0, j0, m - j0, jb);
-        let panel_taus = geqr2(&mut panel);
-        w.set_block(j0, j0, &panel);
-        taus[j0..j0 + jb].copy_from_slice(&panel_taus);
-
-        // Trailing update: C ← Qᵖᵃⁿᵉˡᵀ·C for C = W[j0.., j0+jb..].
-        if j0 + jb < n {
-            let pu = unit_lower(&panel, jb);
-            let pt = form_t(&pu, &panel_taus);
-            let mut c = w.block(j0, j0 + jb, m - j0, n - (j0 + jb));
-            // C ← C − U·(Tᵀ·(Uᵀ·C))
-            let utc = matmul(&pu, Trans::T, &c, Trans::N);
-            let ttutc = matmul(&pt, Trans::T, &utc, Trans::N);
-            gemm(-1.0, &pu, Trans::N, &ttutc, Trans::N, 1.0, &mut c);
-            w.set_block(j0, j0 + jb, &c);
-        }
-        j0 += jb;
-    }
+    with_ws(|ws| qr_inplace(&mut w.view_mut(), nb, &mut taus, ws));
 
     // Extract U (unit lower-trapezoidal, m×k) and R (k×n upper).
     let mut u = Matrix::zeros(m, k);
@@ -192,18 +259,89 @@ pub fn qr_factor(a: &Matrix, nb: usize) -> QrFactors {
     QrFactors { u, t, r }
 }
 
-/// Extract the unit lower-trapezoidal reflector block of a factored
-/// panel (`jb` columns).
-fn unit_lower(panel: &Matrix, jb: usize) -> Matrix {
-    let m = panel.rows();
-    let mut u = Matrix::zeros(m, jb);
-    for j in 0..jb {
-        u.set(j, j, 1.0);
-        for i in j + 1..m {
-            u.set(i, j, panel.get(i, j));
+/// Blocked Householder QR of the view `w` **in place** with panel width
+/// `nb`: on exit `w` holds `R` in its upper triangle and the reflector
+/// tails below the diagonal, with the `tau` scalars in `taus` (length
+/// `min(m, n)`). All scratch (reflector panel copy, `T`, the two WY
+/// temporaries) comes from `ws` — steady-state calls allocate nothing.
+///
+/// Panels are factored directly in sub-views of `w` and the trailing
+/// update accumulates straight into `w` — the same arithmetic as the
+/// seed's copy-out/copy-back structure, minus the copies, so the factors
+/// are bitwise identical.
+pub(crate) fn qr_inplace(w: &mut MatrixViewMut, nb: usize, taus: &mut [f64], ws: &mut Workspace) {
+    let (m, n) = (w.rows(), w.cols());
+    let k = m.min(n);
+    assert_eq!(taus.len(), k);
+    let nb = nb.max(1);
+
+    let mut j0 = 0;
+    while j0 < k {
+        let jb = nb.min(k - j0);
+        let pm = m - j0;
+        // Factor the panel rows j0.., cols j0..j0+jb in place.
+        {
+            let mut panel = w.sub_mut(j0, j0, pm, jb);
+            geqr2_view(&mut panel, &mut taus[j0..j0 + jb], ws);
         }
+
+        // Trailing update: C ← Qᵖᵃⁿᵉˡᵀ·C = C − U·(Tᵀ·(Uᵀ·C)) for
+        // C = W[j0.., j0+jb..], accumulated in place.
+        if j0 + jb < n {
+            let nc = n - (j0 + jb);
+            let mut pu = ws.take(pm * jb);
+            {
+                let panel = w.sub(j0, j0, pm, jb);
+                for j in 0..jb {
+                    pu[j * jb + j] = 1.0;
+                    for i in j + 1..pm {
+                        pu[i * jb + j] = panel.get(i, j);
+                    }
+                }
+            }
+            let mut pt = ws.take(jb * jb);
+            form_t_view(
+                &MatrixView::from_slice(&pu, pm, jb),
+                &taus[j0..j0 + jb],
+                &mut MatrixViewMut::from_slice(&mut pt, jb, jb),
+                ws,
+            );
+            let mut utc = ws.take(jb * nc);
+            gemm_view(
+                1.0,
+                &MatrixView::from_slice(&pu, pm, jb),
+                Trans::T,
+                &w.sub(j0, j0 + jb, pm, nc),
+                Trans::N,
+                0.0,
+                &mut MatrixViewMut::from_slice(&mut utc, jb, nc),
+            );
+            let mut ttutc = ws.take(jb * nc);
+            gemm_view(
+                1.0,
+                &MatrixView::from_slice(&pt, jb, jb),
+                Trans::T,
+                &MatrixView::from_slice(&utc, jb, nc),
+                Trans::N,
+                0.0,
+                &mut MatrixViewMut::from_slice(&mut ttutc, jb, nc),
+            );
+            gemm_view(
+                -1.0,
+                &MatrixView::from_slice(&pu, pm, jb),
+                Trans::N,
+                &MatrixView::from_slice(&ttutc, jb, nc),
+                Trans::N,
+                1.0,
+                &mut w.sub_mut(j0, j0 + jb, pm, nc),
+            );
+            ws.put(ttutc);
+            ws.put(utc);
+            ws.put(pt);
+            ws.put(pu);
+        }
+        j0 += jb;
     }
-    u
 }
 
 /// `C ← Qᵀ·C = C − U·(Tᵀ·(Uᵀ·C))`.

@@ -5,6 +5,19 @@
 //! the Sturm sequence of `T − x·I` counts eigenvalues below `x`, which
 //! both validates individual eigenvalues and allows verifying that a band
 //! reduction preserved the *entire* spectrum (not just its moments).
+//!
+//! Bisection is embarrassingly parallel over eigenvalue indices — each
+//! `k`-th eigenvalue's probe sequence depends only on `(d, e, k)` — so
+//! [`bisection_eigenvalues`] and [`banded_bisection_eigenvalues`] fan
+//! the indices out over rayon workers. Results are **bit-deterministic**
+//! and identical to the sequential loop regardless of thread count: no
+//! floating-point operation crosses an index boundary.
+
+use rayon::prelude::*;
+
+/// Below this many eigenvalues the thread fan-out costs more than it
+/// saves; run the plain sequential loop.
+const PAR_EIGS: usize = 32;
 
 /// Number of eigenvalues of the tridiagonal `(d, e)` strictly less
 /// than `x`.
@@ -67,9 +80,15 @@ pub fn kth_eigenvalue(d: &[f64], e: &[f64], k: usize, tol: f64) -> f64 {
     0.5 * (lo + hi)
 }
 
-/// All eigenvalues in ascending order via bisection.
+/// All eigenvalues in ascending order via bisection, parallel over
+/// eigenvalue indices (bit-identical to the sequential per-`k` loop).
 pub fn bisection_eigenvalues(d: &[f64], e: &[f64], tol: f64) -> Vec<f64> {
-    (0..d.len()).map(|k| kth_eigenvalue(d, e, k, tol)).collect()
+    let n = d.len();
+    if n < PAR_EIGS {
+        (0..n).map(|k| kth_eigenvalue(d, e, k, tol)).collect()
+    } else {
+        (0..n).into_par_iter().map(|k| kth_eigenvalue(d, e, k, tol)).collect()
+    }
 }
 
 /// Number of eigenvalues of a symmetric *banded* matrix strictly less
@@ -84,21 +103,43 @@ pub fn count_below_banded(b: &crate::BandedSym, x: f64) -> usize {
     if bw == 0 {
         return (0..n).filter(|&i| b.get(i, i) < x).count();
     }
+    let scale = b.norm_fro().max(1.0);
+    let mut work = vec![0.0f64; n * (bw + 1)];
+    count_below_banded_into(b, x, bw, scale, &mut work)
+}
+
+/// [`count_below_banded`] with the bandwidth, pivot scale, and the
+/// `n·(bw+1)` scratch buffer supplied by the caller — so a bisection
+/// loop probes `O(log 1/tol)` shifts with one allocation instead of one
+/// per probe. Arithmetic is identical to the per-probe path.
+fn count_below_banded_into(
+    b: &crate::BandedSym,
+    x: f64,
+    bw: usize,
+    scale: f64,
+    work: &mut [f64],
+) -> usize {
+    let n = b.n();
+    let w = bw + 1;
+    debug_assert_eq!(work.len(), n * w);
     // Banded LDLᵀ without pivoting, with a tiny-pivot safeguard (the
     // bisection caller only needs the negative count to be right within
-    // the probe tolerance).
-    // work[j][i-j] holds the current column j entries, i ∈ [j, j+bw].
-    let mut work = vec![vec![0.0f64; bw + 1]; n];
+    // the probe tolerance). Column-major lower storage, flattened:
+    // entry (i, j) with j ≤ i ≤ j + bw lives at work[j·(bw+1) + (i−j)].
     for j in 0..n {
-        for i in j..n.min(j + bw + 1) {
-            work[j][i - j] = b.get(i, j);
+        let reach = n.min(j + w);
+        let col = &mut work[j * w..j * w + w];
+        for i in j..reach {
+            col[i - j] = b.get(i, j);
         }
-        work[j][0] -= x;
+        for i in reach..j + w {
+            col[i - j] = 0.0;
+        }
+        col[0] -= x;
     }
     let mut negatives = 0;
-    let scale = b.norm_fro().max(1.0);
     for k in 0..n {
-        let mut dk = work[k][0];
+        let mut dk = work[k * w];
         if dk == 0.0 {
             dk = -f64::EPSILON * scale;
         }
@@ -106,18 +147,14 @@ pub fn count_below_banded(b: &crate::BandedSym, x: f64) -> usize {
             negatives += 1;
         }
         // Eliminate column k from the trailing band.
-        let reach = n.min(k + bw + 1);
+        let reach = n.min(k + w);
         for i in k + 1..reach {
-            let lik = work[k][i - k] / dk;
+            let lik = work[k * w + (i - k)] / dk;
             if lik == 0.0 {
                 continue;
             }
             for j2 in i..reach {
-                // (i, j2) entry stored at work[min][|i-j2|] with the
-                // canonical lower form work[j2? ] — use column-major
-                // lower storage: entry (j2, i) with j2 ≥ i lives at
-                // work[i][j2 - i].
-                work[i][j2 - i] -= lik * work[k][j2 - k];
+                work[i * w + (j2 - i)] -= lik * work[k * w + (j2 - k)];
             }
         }
     }
@@ -128,43 +165,89 @@ pub fn count_below_banded(b: &crate::BandedSym, x: f64) -> usize {
 /// banded inertia count (no tridiagonalization).
 pub fn banded_bisection_eigenvalues(b: &crate::BandedSym, tol: f64) -> Vec<f64> {
     let n = b.n();
-    let (d, e): (Vec<f64>, Vec<f64>) = {
-        // Gershgorin-style bounds from row sums of the band.
-        let mut lo = f64::INFINITY;
-        let mut hi = f64::NEG_INFINITY;
-        for i in 0..n {
-            let mut r = 0.0;
-            for j in 0..n {
-                if i != j && i.abs_diff(j) <= b.capacity() {
-                    r += b.get(i, j).abs();
-                }
+    let (glo, ghi) = banded_gershgorin_bounds(b);
+    // Hoisted per-probe invariants: bandwidth, pivot scale (value-
+    // identical — the matrix does not change between probes).
+    let bw = b.bandwidth().max(b.measured_bandwidth(0.0));
+    let scale = b.norm_fro().max(1.0);
+    let one = |k: usize| banded_kth_in_bounds(b, k, tol, glo, ghi, bw, scale);
+    if n < PAR_EIGS {
+        (0..n).map(one).collect()
+    } else {
+        (0..n).into_par_iter().map(one).collect()
+    }
+}
+
+/// The `k`-th smallest eigenvalue (0-based) of a symmetric banded
+/// matrix via bisection on the banded inertia count.
+pub fn banded_kth_eigenvalue(b: &crate::BandedSym, k: usize, tol: f64) -> f64 {
+    let (glo, ghi) = banded_gershgorin_bounds(b);
+    let bw = b.bandwidth().max(b.measured_bandwidth(0.0));
+    let scale = b.norm_fro().max(1.0);
+    banded_kth_in_bounds(b, k, tol, glo, ghi, bw, scale)
+}
+
+/// Padded Gershgorin-style spectrum bounds from row sums of the band.
+fn banded_gershgorin_bounds(b: &crate::BandedSym) -> (f64, f64) {
+    let n = b.n();
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for i in 0..n {
+        let mut r = 0.0;
+        for j in 0..n {
+            if i != j && i.abs_diff(j) <= b.capacity() {
+                r += b.get(i, j).abs();
             }
-            lo = lo.min(b.get(i, i) - r);
-            hi = hi.max(b.get(i, i) + r);
         }
-        (vec![lo], vec![hi])
-    };
-    let (mut glo, mut ghi) = (d[0], e[0]);
-    let pad = 1e-12 * (ghi - glo).abs().max(1.0);
-    glo -= pad;
-    ghi += pad;
-    (0..n)
-        .map(|k| {
-            let (mut lo, mut hi) = (glo, ghi);
-            while hi - lo > tol {
-                let mid = 0.5 * (lo + hi);
-                if mid <= lo || mid >= hi {
-                    break;
-                }
-                if count_below_banded(b, mid) > k {
-                    hi = mid;
-                } else {
-                    lo = mid;
-                }
+        lo = lo.min(b.get(i, i) - r);
+        hi = hi.max(b.get(i, i) + r);
+    }
+    let pad = 1e-12 * (hi - lo).abs().max(1.0);
+    (lo - pad, hi + pad)
+}
+
+/// Bisect for the `k`-th eigenvalue inside precomputed bounds, reusing
+/// one scratch buffer for every probe.
+fn banded_kth_in_bounds(
+    b: &crate::BandedSym,
+    k: usize,
+    tol: f64,
+    glo: f64,
+    ghi: f64,
+    bw: usize,
+    scale: f64,
+) -> f64 {
+    let n = b.n();
+    if bw == 0 {
+        // Diagonal shortcut matches count_below_banded's.
+        let (mut lo, mut hi) = (glo, ghi);
+        while hi - lo > tol {
+            let mid = 0.5 * (lo + hi);
+            if mid <= lo || mid >= hi {
+                break;
             }
-            0.5 * (lo + hi)
-        })
-        .collect()
+            if (0..n).filter(|&i| b.get(i, i) < mid).count() > k {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        return 0.5 * (lo + hi);
+    }
+    let mut work = vec![0.0f64; n * (bw + 1)];
+    let (mut lo, mut hi) = (glo, ghi);
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        if mid <= lo || mid >= hi {
+            break;
+        }
+        if count_below_banded_into(b, mid, bw, scale, &mut work) > k {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    0.5 * (lo + hi)
 }
 
 #[cfg(test)]

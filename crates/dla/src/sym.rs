@@ -9,6 +9,11 @@
 use crate::band::BandedSym;
 use crate::gemm::{gemm, Trans};
 use crate::matrix::Matrix;
+use rayon::prelude::*;
+
+/// Row count above which `symv_banded` fans rows out over rayon
+/// workers (each output row is an independent dot product).
+const PAR_SYMV_ROWS: usize = 128;
 
 /// The paper's aggregated two-sided update (Eqn. IV.1):
 /// `A ← A + U·Vᵀ + V·Uᵀ` with `A` symmetric (`U`, `V` of shape `n×k`).
@@ -55,21 +60,39 @@ pub fn syrk(alpha: f64, a: &Matrix, beta: f64, c: &mut Matrix) {
 }
 
 /// Banded symmetric matrix–vector product `y = B·x` in `O(n·b)`.
+///
+/// Row-oriented: each `y[i]` is an independent dot product over the
+/// band — the strictly-lower part of row `i` strides through the slab
+/// (one element per stored column), the diagonal-and-upper part is a
+/// contiguous slice — so rows parallelize over rayon workers with no
+/// write sharing, deterministically.
 pub fn symv_banded(b: &BandedSym, x: &[f64]) -> Vec<f64> {
     let n = b.n();
     assert_eq!(x.len(), n);
     let cap = b.capacity();
+    let w = cap + 1;
+    let data = b.bands();
+    let row = |i: usize| -> f64 {
+        let mut s = 0.0;
+        // Entries (i, j), j < i, within the band: stored at
+        // data[j·(cap+1) + (i−j)] = data[j·cap + i].
+        for j in i.saturating_sub(cap)..i {
+            s += data[j * cap + i] * x[j];
+        }
+        // Diagonal and super-diagonal part: the stored column i of the
+        // lower bands, read as row i of the symmetric matrix.
+        let len = n.min(i + w) - i;
+        for (bv, xv) in data[i * w..i * w + len].iter().zip(&x[i..i + len]) {
+            s += bv * xv;
+        }
+        s
+    };
     let mut y = vec![0.0; n];
-    for j in 0..n {
-        // Diagonal.
-        y[j] += b.get(j, j) * x[j];
-        // Sub-diagonal band (and its mirror).
-        for i in j + 1..n.min(j + cap + 1) {
-            let v = b.get(i, j);
-            if v != 0.0 {
-                y[i] += v * x[j];
-                y[j] += v * x[i];
-            }
+    if n >= PAR_SYMV_ROWS {
+        y.par_iter_mut().enumerate().for_each(|(i, yi)| *yi = row(i));
+    } else {
+        for (i, yi) in y.iter_mut().enumerate() {
+            *yi = row(i);
         }
     }
     y

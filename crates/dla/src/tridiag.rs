@@ -193,8 +193,16 @@ pub fn banded_eigenvalues(b: &BandedSym) -> Vec<f64> {
         let (d, e) = b.tridiagonal();
         return tridiag_eigenvalues(&d, &e);
     }
-    // Re-house with enough fill capacity, then reduce directly to
-    // tridiagonal (k = bw) and solve.
+    // Re-house with enough fill capacity, then reduce to tridiagonal in
+    // bandwidth-halving sweeps while the band is fat: each halving's
+    // chases apply rank-⌈b/2⌉ block reflectors (fat GEMMs) instead of
+    // the rank-1 updates a direct b → 1 sweep degenerates to — the
+    // difference between matrix–matrix and matrix–vector flop rates.
+    // Below the crossover the chase count (∼n²/b² per halving) and its
+    // per-window overhead dominate the shrinking flop payload, so the
+    // tail runs as one direct sweep to bandwidth 1. The initial
+    // capacity 2·bw covers every later halving's 2·b′ fill as well.
+    const HALVE_FLOOR: usize = 8;
     let cap = (2 * bw).min(n - 1);
     let mut work = BandedSym::zeros(n, bw, cap);
     for j in 0..n {
@@ -202,7 +210,12 @@ pub fn banded_eigenvalues(b: &BandedSym) -> Vec<f64> {
             work.set(i, j, b.get(i, j));
         }
     }
-    bulge::reduce_band(&mut work, bw);
+    while work.bandwidth() > HALVE_FLOOR {
+        bulge::reduce_band(&mut work, 2);
+    }
+    if work.bandwidth() > 1 {
+        bulge::reduce_band_to(&mut work, 1);
+    }
     let (d, e) = work.tridiagonal();
     tridiag_eigenvalues(&d, &e)
 }

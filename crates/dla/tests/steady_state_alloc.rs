@@ -1,0 +1,74 @@
+//! Steady-state allocation check for the zero-copy chase engine.
+//!
+//! A counting global allocator wraps `System`; after one warm-up pass
+//! over a full `h = 1` chase plan (which converges the thread arena's
+//! buffer-size profile), replaying the identical plan on a fresh band
+//! copy must perform **zero** heap allocations — every scratch panel
+//! comes out of the arena and every GEMM in this regime sits below the
+//! packing threshold.
+//!
+//! Single test in this file on purpose: the counter is process-global
+//! and libtest runs sibling tests concurrently.
+
+use ca_dla::bulge::{chase_plan_to, execute_chase};
+use ca_dla::gen;
+use ca_dla::BandedSym;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_chase_is_allocation_free() {
+    let (n, b) = (96usize, 8usize);
+    let mut rng = StdRng::seed_from_u64(4242);
+    let dense = gen::random_banded(&mut rng, n, b);
+    let cap = (2 * b).min(n - 1);
+    let plan = chase_plan_to(n, b, 1);
+    assert!(plan.len() > 100, "plan too small to be a meaningful workload");
+
+    // Warm-up: converge this thread's arena to the plan's size profile.
+    let mut warm = BandedSym::from_dense(&dense, b, cap);
+    for op in &plan {
+        execute_chase(&mut warm, op);
+    }
+
+    // Steady state: the identical plan on a fresh copy allocates nothing.
+    let mut cold = BandedSym::from_dense(&dense, b, cap);
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    for op in &plan {
+        execute_chase(&mut cold, op);
+    }
+    COUNTING.store(false, Ordering::SeqCst);
+    let count = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(count, 0, "steady-state chase performed {count} heap allocations");
+}

@@ -18,6 +18,17 @@
 //!   internally (and is therefore never dispatched through here).
 //! * Per-rank outputs must be disjoint (e.g. one local block per rank).
 //!
+//! ## Per-thread workspace arenas
+//!
+//! The `ca-dla` hot-path kernels draw scratch buffers from a
+//! thread-local [`ca_dla::Workspace`] arena (`ca_dla::workspace::with_ws`).
+//! Because this executor runs each rank body to completion on a single
+//! worker thread, every thread owns exactly one arena for the duration
+//! of a body: buffers checked out inside a rank body are returned
+//! before the body yields, arenas never migrate across threads, and no
+//! synchronization is needed. A warm arena makes steady-state bulge
+//! chasing allocation-free regardless of which worker a rank lands on.
+//!
 //! Set `CA_SERIAL=1` to force serial in-order execution — the escape
 //! hatch for debugging and for measuring the parallel overhead itself.
 
