@@ -130,10 +130,61 @@ fn bench_tridiag_eigen(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_dnc_values(c: &mut Criterion) {
+    // Divide-and-conquer on the same Laplacian as `tridiag_ql` — the
+    // direct competitor for the eigenvalue-only finale.
+    let mut group = c.benchmark_group("tridiag_dnc");
+    for n in [256usize, 1024] {
+        let d = vec![2.0; n];
+        let e = vec![-1.0; n - 1];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(ca_dla::dnc::dnc_eigenvalues(&d, &e).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_secular_solve(c: &mut Criterion) {
+    // Deflation scan + all secular roots of diag(d) + ρzzᵀ. Spread
+    // poles and O(1) weights defeat deflation, so the timing is pure
+    // root-finding (the merge's serial fraction).
+    let mut group = c.benchmark_group("dnc_secular");
+    for m in [128usize, 256] {
+        let d: Vec<f64> = (0..m).map(|i| i as f64).collect();
+        let z: Vec<f64> = (0..m).map(|i| 0.3 + (i % 7) as f64 * 0.1).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |bench, _| {
+            bench.iter(|| {
+                black_box(ca_dla::dnc::bench_hooks::secular_merge_values(&d, &z, 0.5))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge_gemm(c: &mut Criterion) {
+    // The eigenvector half of a D&C merge: kept carrier columns (n×m)
+    // times the m×m secular coefficient matrix — one dense GEMM.
+    let mut group = c.benchmark_group("dnc_merge_gemm");
+    for (n, m) in [(256usize, 128usize), (512, 256)] {
+        let mut rng = StdRng::seed_from_u64(6);
+        let q = gen::random_matrix(&mut rng, n, m);
+        let u = gen::random_matrix(&mut rng, m, m);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{m}")),
+            &(n, m),
+            |bench, _| {
+                bench.iter(|| black_box(matmul(&q, Trans::N, &u, Trans::N)));
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(10);
     targets = bench_gemm, bench_qr, bench_band_reduction, bench_chase_window,
-        bench_geqr2, bench_tridiag_eigen
+        bench_geqr2, bench_tridiag_eigen, bench_dnc_values, bench_secular_solve,
+        bench_merge_gemm
 }
 criterion_main!(kernels);

@@ -1,27 +1,41 @@
-//! PR-6 acceptance benchmark: per-stage wall-clock and model flop-rate
-//! of the end-to-end solver, *before* (seed copy-based chase kernels)
-//! vs. *after* (zero-copy workspace kernels — see DESIGN.md, "The
-//! kernel engine"). Writes `BENCH_PR6.json` in the current directory.
+//! Stage-time acceptance benchmark: per-stage wall-clock and model
+//! flop-rate of the end-to-end solver, *before* vs *after* one of the
+//! repo's engine toggles.
 //!
-//! Both legs run from one build: the seed chase path is kept alive as
-//! `chase_window_update_factors_reference` behind the
-//! `set_zero_copy_enabled` engine toggle, so "before" is the actual
-//! seed arithmetic, not a reconstruction. Stage wall-clock comes from
-//! [`StageCosts::wall_secs`]; model flops from the metered ledger.
+//! Two engine comparisons are available, each from one build with the
+//! "before" arithmetic kept alive behind a runtime toggle:
+//!
+//! * `--engine zero-copy` (PR-6, default output `BENCH_PR6.json`):
+//!   seed copy-based chase kernels vs zero-copy workspace kernels
+//!   (`set_zero_copy_enabled` — see DESIGN.md, "The kernel engine");
+//! * `--engine dnc` (PR-7, default output `BENCH_PR7.json`): the
+//!   legacy sequential finale (halve-to-8 chase + implicit QL) vs the
+//!   fused rank-1 sweep + divide-and-conquer finale
+//!   (`ca_dla::tune::set_dnc_enabled`), zero-copy on in both legs. The
+//!   run also reports the tuning knobs in effect
+//!   ([`ca_dla::tune::halve_floor`], [`ca_dla::tune::dnc_leaf`]).
+//!
+//! Stage wall-clock comes from [`StageCosts::wall_secs`]; model flops
+//! from the metered ledger.
 //!
 //! Flags:
 //!
+//! * `--engine <zero-copy|dnc>` — which toggle to compare (default
+//!   `zero-copy`);
 //! * `--quick` — n ∈ {256} only (CI-sized; the full grid adds 512);
-//! * `--out <path>` — output path (default `BENCH_PR6.json`);
+//! * `--out <path>` — output path (default per engine, above);
 //! * `--check <ref.json>` — compare per-stage and end-to-end speedups
 //!   against a committed reference and exit nonzero if any entry
-//!   regressed by more than 25%. Speedups (ratios of two timings on
-//!   the same host) are compared rather than absolute times, so the
-//!   check is meaningful across machines of different speeds.
+//!   regressed by more than 25% — in particular the
+//!   `sequential eigensolve` stage gets its own gate this way.
+//!   Speedups (ratios of two timings on the same host) are compared
+//!   rather than absolute times, so the check is meaningful across
+//!   machines of different speeds.
 
 use ca_bsp::{Machine, MachineParams};
 use ca_dla::bulge::set_zero_copy_enabled;
 use ca_dla::gen;
+use ca_dla::tune;
 use ca_eigen::params::EigenParams;
 use ca_eigen::solver::{symm_eigen_25d, StageCosts};
 use rand::rngs::StdRng;
@@ -36,11 +50,35 @@ const STAGES: [&str; 4] = ["full-to-band", "band-to-band", "ca-sbr", "sequential
 /// Fractional speedup loss tolerated by `--check` before failing.
 const REGRESSION_SLACK: f64 = 0.25;
 
+/// Which engine toggle a benchmark leg selects.
+#[derive(Clone, Copy, PartialEq)]
+enum Engine {
+    /// Copy-based reference chase kernels vs zero-copy workspace kernels.
+    ZeroCopy,
+    /// QL finale vs fused-sweep + divide-and-conquer finale.
+    Dnc,
+}
+
+/// Configure the process-wide toggles for one leg. The D&C comparison
+/// keeps zero-copy on in both legs so it measures only the finale.
+fn select_engine(engine: Engine, after: bool) {
+    match engine {
+        Engine::ZeroCopy => {
+            set_zero_copy_enabled(after);
+            tune::set_dnc_enabled(false);
+        }
+        Engine::Dnc => {
+            set_zero_copy_enabled(true);
+            tune::set_dnc_enabled(after);
+        }
+    }
+}
+
 /// Run the solver `reps` times with the given engine selection and
 /// return the median run (by end-to-end wall time) with its stage
 /// breakdown.
-fn run_case(n: usize, p: usize, reps: usize, zero_copy: bool) -> (f64, StageCosts) {
-    set_zero_copy_enabled(zero_copy);
+fn run_case(n: usize, p: usize, reps: usize, engine: Engine, after: bool) -> (f64, StageCosts) {
+    select_engine(engine, after);
     let mut rng = StdRng::seed_from_u64(4096 + n as u64);
     let spectrum = gen::linspace_spectrum(n, -1.0, 1.0);
     let a = gen::symmetric_with_spectrum(&mut rng, &spectrum);
@@ -110,10 +148,26 @@ fn parse_speedups(text: &str) -> Vec<(usize, String, f64)> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let out_path = flag_value(&args, "--out").unwrap_or("BENCH_PR6.json");
+    let engine = match flag_value(&args, "--engine") {
+        None | Some("zero-copy") => Engine::ZeroCopy,
+        Some("dnc") => Engine::Dnc,
+        Some(other) => panic!("unknown --engine {other:?} (expected zero-copy or dnc)"),
+    };
+    let default_out = match engine {
+        Engine::ZeroCopy => "BENCH_PR6.json",
+        Engine::Dnc => "BENCH_PR7.json",
+    };
+    let out_path = flag_value(&args, "--out").unwrap_or(default_out);
     let check = flag_value(&args, "--check");
     let sizes: &[usize] = if quick { &[256] } else { &[256, 512] };
     let (p, reps) = (4usize, 5usize);
+    if engine == Engine::Dnc {
+        println!(
+            "engine dnc: halve_floor = {}, dnc_leaf = {} (CA_HALVE_FLOOR / CA_DNC_LEAF to override)",
+            tune::halve_floor(),
+            tune::dnc_leaf()
+        );
+    }
 
     // Load the reference *before* running (and possibly overwriting it,
     // when `--check` and `--out` name the same file).
@@ -125,15 +179,28 @@ fn main() {
         parsed
     });
 
-    let mut out = String::from("{\n  \"cases\": [\n");
+    let mut out = match engine {
+        Engine::ZeroCopy => String::from("{\n  \"cases\": [\n"),
+        Engine::Dnc => format!(
+            "{{\n  \"engine\": \"dnc\",\n  \"tuning\": {{\"halve_floor\": {}, \"dnc_leaf\": {}}},\n  \"cases\": [\n",
+            tune::halve_floor(),
+            tune::dnc_leaf()
+        ),
+    };
     let mut measured: Vec<(usize, String, f64)> = Vec::new();
     for (ci, &n) in sizes.iter().enumerate() {
-        let (t_before, st_before) = run_case(n, p, reps, false);
-        let (t_after, st_after) = run_case(n, p, reps, true);
+        let (t_before, st_before) = run_case(n, p, reps, engine, false);
+        let (t_after, st_after) = run_case(n, p, reps, engine, true);
         let speedup = t_before / t_after;
+        let legs = match engine {
+            Engine::ZeroCopy => ("reference", "zero-copy"),
+            Engine::Dnc => ("QL finale", "D&C finale"),
+        };
         println!(
-            "solver n={n} p={p}: reference {:.1} ms -> zero-copy {:.1} ms, {speedup:.2}x",
+            "solver n={n} p={p}: {} {:.1} ms -> {} {:.1} ms, {speedup:.2}x",
+            legs.0,
             t_before * 1e3,
+            legs.1,
             t_after * 1e3
         );
         measured.push((n, String::new(), speedup));

@@ -72,6 +72,23 @@ pub enum EigenError {
         /// The offending factor.
         k: usize,
     },
+    /// The sequential tridiagonal eigensolver failed to converge —
+    /// unreachable for finite symmetric input (the implicit-shift QL
+    /// iteration is globally convergent), but non-finite data reaching
+    /// the finale surfaces here instead of aborting the process.
+    ConvergenceFailure {
+        /// Which solver gave up (`"tridiag_eigenvalues"`,
+        /// `"tridiag_eigen"`).
+        solver: &'static str,
+        /// Eigenvalue index being iterated when the budget ran out.
+        index: usize,
+    },
+}
+
+impl From<ca_dla::tridiag::NoConvergence> for EigenError {
+    fn from(e: ca_dla::tridiag::NoConvergence) -> Self {
+        Self::ConvergenceFailure { solver: e.solver, index: e.index }
+    }
 }
 
 impl fmt::Display for EigenError {
@@ -112,6 +129,13 @@ impl fmt::Display for EigenError {
                     "reduction factor must satisfy 1 ≤ k ≤ band-width (got k = {k}, b = {b})"
                 )
             }
+            Self::ConvergenceFailure { solver, index } => {
+                write!(
+                    f,
+                    "sequential eigensolve did not converge ({solver}, eigenvalue index {index}) — \
+                     is the input finite?"
+                )
+            }
         }
     }
 }
@@ -133,6 +157,10 @@ mod tests {
             (
                 EigenError::ReplicationOutOfRegime { p: 8, c: 4 },
                 "c ≤ p^{1/3}",
+            ),
+            (
+                EigenError::ConvergenceFailure { solver: "tridiag_eigen", index: 7 },
+                "did not converge",
             ),
         ];
         for (e, needle) in cases {

@@ -127,7 +127,7 @@ pub fn try_symm_eigen_25d(
     a: &Matrix,
 ) -> Result<(Vec<f64>, StageCosts), EigenError> {
     validate_input(params, a)?;
-    let (ev, costs, _) = solve_impl(machine, params, a, false);
+    let (ev, costs, _) = solve_impl(machine, params, a, false)?;
     Ok((ev, costs))
 }
 
@@ -153,7 +153,7 @@ pub fn try_symm_eigen_25d_vectors(
     a: &Matrix,
 ) -> Result<(Vec<f64>, Matrix, StageCosts), EigenError> {
     validate_input(params, a)?;
-    let (ev, costs, v) = solve_impl(machine, params, a, true);
+    let (ev, costs, v) = solve_impl(machine, params, a, true)?;
     Ok((ev, v.expect("vectors requested"), costs))
 }
 
@@ -185,7 +185,7 @@ fn solve_impl(
     params: &EigenParams,
     a: &Matrix,
     want_vectors: bool,
-) -> (Vec<f64>, StageCosts, Option<Matrix>) {
+) -> Result<(Vec<f64>, StageCosts, Option<Matrix>), EigenError> {
     let n = a.rows();
     let p = params.p;
     let mut costs = StageCosts::default();
@@ -318,26 +318,33 @@ fn solve_impl(
         0,
         ((n * (bw + 1)) as u64).div_ceil(p as u64),
     );
-    // Sequential band → tridiagonal + QL (charged to processor 0).
-    machine.charge_flops(
-        machine_proc0(),
-        6 * (n as u64) * (bw as u64).pow(2) + 30 * (n as u64).pow(2),
-    );
+    // Sequential band → tridiagonal + eigensolve, charged to
+    // processor 0 under the active engine's cost model: the fused
+    // rank-1 sweep is ≈ 6nb² flops either way, but divide-and-conquer
+    // replaces QL's ~30n² dependent rotations with secular solves and
+    // 2×m·m row-carrier merge GEMMs (≈ 16n² with typical deflation).
+    let seq_flops = if ca_dla::tune::dnc_enabled() {
+        6 * (n as u64) * (bw as u64).pow(2) + 16 * (n as u64).pow(2)
+    } else {
+        6 * (n as u64) * (bw as u64).pow(2) + 30 * (n as u64).pow(2)
+    };
+    machine.charge_flops(machine_proc0(), seq_flops);
     machine.charge_vert(machine_proc0(), (n * (bw + 1)) as u64);
 
     if !want_vectors {
-        let ev = ca_dla::tridiag::banded_eigenvalues(&band);
+        let ev = ca_dla::tridiag::try_banded_eigenvalues(&band)?;
         machine.fence();
         costs.push(
             "sequential eigensolve",
             machine.costs_since(&snap),
             t0.elapsed().as_secs_f64(),
         );
-        return (ev, costs, None);
+        return Ok((ev, costs, None));
     }
 
-    // Vectors path: record the final band → tridiagonal reduction, run
-    // QL with accumulation, and back-transform through every stage.
+    // Vectors path: record the final band → tridiagonal reduction,
+    // solve the tridiagonal with eigenvector accumulation, and
+    // back-transform through every stage.
     let work = if bw > 1 {
         let cap = (2 * bw).min(n - 1);
         let mut rehoused = ca_dla::BandedSym::zeros(n, bw, cap);
@@ -346,18 +353,49 @@ fn solve_impl(
                 rehoused.set(i, j, band.get(i, j));
             }
         }
-        let stage = log.stage("sequential band→tridiagonal");
-        for op in ca_dla::bulge::chase_plan(n, bw, bw) {
-            let row0 = op.qr_rows.0;
-            let (u, t) = ca_dla::bulge::execute_chase_recording(&mut rehoused, &op);
-            stage.push(crate::transforms::Reflectors { row0, u, t });
+        if ca_dla::tune::dnc_enabled() {
+            // Recorded halvings down to the fused-sweep floor (fat
+            // compact-WY reflectors at matrix–matrix rates), then the
+            // fused rank-1 sweep whose reflectors are single
+            // Householder columns (k = 1 fast path in back_transform).
+            let floor = ca_dla::tune::halve_floor();
+            while rehoused.bandwidth() > floor && rehoused.bandwidth() >= 2 {
+                let b = rehoused.bandwidth();
+                let stage = log.stage(&format!("sequential band halving (b={b})"));
+                for op in ca_dla::bulge::chase_plan(n, b, 2) {
+                    let row0 = op.qr_rows.0;
+                    let (u, t) = ca_dla::bulge::execute_chase_recording(&mut rehoused, &op);
+                    stage.push(crate::transforms::Reflectors { row0, u, t });
+                }
+                rehoused.set_bandwidth(b.div_ceil(2));
+            }
+            let stage = log.stage("sequential band→tridiagonal (fused sweep)");
+            for (row0, u, tau) in ca_dla::bulge::sweep_to_tridiagonal_recording(&mut rehoused) {
+                let rows = u.len();
+                stage.push(crate::transforms::Reflectors {
+                    row0,
+                    u: Matrix::from_vec(rows, 1, u),
+                    t: Matrix::from_vec(1, 1, vec![tau]),
+                });
+            }
+        } else {
+            let stage = log.stage("sequential band→tridiagonal");
+            for op in ca_dla::bulge::chase_plan(n, bw, bw) {
+                let row0 = op.qr_rows.0;
+                let (u, t) = ca_dla::bulge::execute_chase_recording(&mut rehoused, &op);
+                stage.push(crate::transforms::Reflectors { row0, u, t });
+            }
         }
         rehoused
     } else {
         band
     };
     let (d, e) = work.tridiagonal();
-    let (ev, z) = ca_dla::tridiag::tridiag_eigen(&d, &e);
+    let (ev, z) = if ca_dla::tune::dnc_enabled() && n > ca_dla::tune::dnc_leaf() {
+        ca_dla::dnc::dnc_eigen(&d, &e)?
+    } else {
+        ca_dla::tridiag::try_tridiag_eigen(&d, &e)?
+    };
     machine.charge_flops(machine_proc0(), (6 * (n as u64).pow(3)).div_ceil(p as u64));
     machine.fence();
     costs.push(
@@ -376,7 +414,7 @@ fn solve_impl(
         t0.elapsed().as_secs_f64(),
     );
 
-    (ev, costs, Some(v))
+    Ok((ev, costs, Some(v)))
 }
 
 #[inline]

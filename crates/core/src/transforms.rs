@@ -20,6 +20,7 @@ use ca_bsp::Machine;
 use ca_dla::gemm::{gemm, matmul, Trans};
 use ca_dla::Matrix;
 use ca_pla::grid::Grid;
+use rayon::prelude::*;
 
 /// One two-sided Householder transform: `Q = I − U·T·Uᵀ` acting on
 /// rows `row0 .. row0 + U.rows()`.
@@ -70,27 +71,35 @@ impl TransformLog {
     }
 }
 
+/// Column-panel width of the parallel application. Narrow enough that
+/// a full eigenvector matrix splits across every worker, wide enough
+/// that the compact-WY GEMMs stay in their blocked regime.
+const PANEL: usize = 64;
+
 /// Back-transform tridiagonal eigenvectors `z` (columns) through the
 /// recorded reductions: returns `V = Q₁Q₂⋯Q_m·Z`, the eigenvectors of
 /// the original dense matrix.
 ///
 /// Charged as a column-parallel application on `grid`: each processor
 /// owns `n/p` eigenvector columns; every reflector's `(U, T)` is
-/// broadcast (two-phase) and applied locally.
+/// broadcast (two-phase) and applied locally. The execution mirrors the
+/// charge model: the columns split into [`PANEL`]-wide panels, each
+/// panel running the full reverse reflector chain independently on a
+/// rayon worker (`CA_SERIAL=1` runs the same panels in order — the
+/// per-panel arithmetic is identical, so both orders are bit-identical).
+/// Rank-1 reflectors (the fused sweep's records) take a two-pass scalar
+/// path with no per-reflector temporaries.
 pub fn back_transform(machine: &Machine, grid: &Grid, log: &TransformLog, z: &Matrix) -> Matrix {
     let n = z.rows();
     let p = grid.len() as u64;
     let ncols = z.cols();
-    let mut x = z.clone();
 
+    // Charging pass: the ledger is identical whatever the worker count.
     for (_, stage) in log.stages.iter().rev() {
         for refl in stage.iter().rev() {
             let rows = refl.u.rows();
             let k = refl.u.cols();
             assert!(refl.row0 + rows <= n, "reflector out of range");
-
-            // Charges: broadcast (U, T) to all column owners; apply to
-            // the local n/p columns.
             let words = (refl.u.len() + refl.t.len()) as u64;
             ca_pla::coll::bcast(machine, grid, 0, words);
             for &pid in grid.procs() {
@@ -100,18 +109,74 @@ pub fn back_transform(machine: &Machine, grid: &Grid, log: &TransformLog, z: &Ma
                 );
                 machine.charge_vert(pid, ((rows * ncols) as u64).div_ceil(p) + words);
             }
-
-            // X[rows] ← (I − U·T·Uᵀ)·X[rows].
-            let xr = x.block(refl.row0, 0, rows, ncols);
-            let utx = matmul(&refl.u, Trans::T, &xr, Trans::N);
-            let tutx = matmul(&refl.t, Trans::N, &utx, Trans::N);
-            let mut upd = xr;
-            gemm(-1.0, &refl.u, Trans::N, &tutx, Trans::N, 1.0, &mut upd);
-            x.set_block(refl.row0, 0, &upd);
         }
         machine.fence();
     }
+    if log.is_empty() || ncols == 0 {
+        return z.clone();
+    }
+
+    // Numeric pass, panel-parallel over columns.
+    let starts: Vec<usize> = (0..ncols).step_by(PANEL).collect();
+    let mut panels: Vec<Matrix> = starts
+        .iter()
+        .map(|&c0| z.block(0, c0, n, PANEL.min(ncols - c0)))
+        .collect();
+    let run = |xp: &mut Matrix| {
+        let mut s = vec![0.0f64; xp.cols()];
+        for (_, stage) in log.stages.iter().rev() {
+            for refl in stage.iter().rev() {
+                apply_reflector(refl, xp, &mut s);
+            }
+        }
+    };
+    if ca_dla::tune::serial() || panels.len() == 1 {
+        for xp in panels.iter_mut() {
+            run(xp);
+        }
+    } else {
+        panels.par_iter_mut().for_each(run);
+    }
+    let mut x = Matrix::zeros(n, ncols);
+    for (&c0, xp) in starts.iter().zip(&panels) {
+        x.set_block(0, c0, xp);
+    }
     x
+}
+
+/// `X[rows] ← (I − U·T·Uᵀ)·X[rows]` on one column panel. `s` is caller
+/// scratch of at least `xp.cols()` entries (used by the rank-1 path).
+fn apply_reflector(refl: &Reflectors, xp: &mut Matrix, s: &mut [f64]) {
+    let rows = refl.u.rows();
+    let k = refl.u.cols();
+    let w = xp.cols();
+    if k == 1 {
+        // x ← x − τ·u·(uᵀx): two row-major passes, no temporaries.
+        let tau = refl.t.get(0, 0);
+        let s = &mut s[..w];
+        s.fill(0.0);
+        for r in 0..rows {
+            let ur = refl.u.get(r, 0);
+            let xr = xp.row(refl.row0 + r);
+            for c in 0..w {
+                s[c] += ur * xr[c];
+            }
+        }
+        for r in 0..rows {
+            let h = tau * refl.u.get(r, 0);
+            let xr = xp.row_mut(refl.row0 + r);
+            for c in 0..w {
+                xr[c] -= h * s[c];
+            }
+        }
+    } else {
+        let xr = xp.block(refl.row0, 0, rows, w);
+        let utx = matmul(&refl.u, Trans::T, &xr, Trans::N);
+        let tutx = matmul(&refl.t, Trans::N, &utx, Trans::N);
+        let mut upd = xr;
+        gemm(-1.0, &refl.u, Trans::N, &tutx, Trans::N, 1.0, &mut upd);
+        xp.set_block(refl.row0, 0, &upd);
+    }
 }
 
 #[cfg(test)]

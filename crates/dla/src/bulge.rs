@@ -741,6 +741,218 @@ pub fn reduce_band_to(bmat: &mut BandedSym, h: usize) {
     bmat.set_bandwidth(h);
 }
 
+/// Reduce a symmetric banded matrix straight to tridiagonal form with
+/// the **fused rank-1 sweep**: the same `h = 1` chase geometry as
+/// `reduce_band_to(bmat, 1)` (identical [`chase_plan_to`] operations,
+/// identical fill pattern), but with the per-chase work — Householder
+/// generation, the two-sided rank-1 update, the symmetric correction —
+/// fused into two passes over the band slab's contiguous runs.
+///
+/// At `h = 1` every chase is rank one, and the generic engine's
+/// strengths invert into overheads: the `nc × nr` strip gather/write-
+/// back doubles memory traffic, the GEMM calls degenerate to
+/// matrix–vector shapes below the blocked kernels' profitable sizes,
+/// and the per-cell fill/scale bookkeeping costs as much as the update
+/// arithmetic. The fused kernel reads each band cell once (directly in
+/// slab storage: mirror rows for the globally-upper part of the strip,
+/// stored columns for the lower part), accumulates `P·u` on the fly,
+/// and applies `ΔP = v·uᵀ + [rows ov..ov+nr] u·vᵀ` in the same two
+/// loop shapes. The band's scale high-water is raised once per sweep to
+/// the Frobenius norm (invariant under the orthogonal similarity, so it
+/// bounds every intermediate entry) instead of per cell.
+///
+/// Unlike the zero-copy/reference engine pair this kernel is **not**
+/// bitwise-matched to `reduce_band_to`; it is validated against the
+/// spectrum oracles (moments, Sturm bisection, QL) in this module's and
+/// `tridiag`'s tests.
+pub fn sweep_to_tridiagonal(bmat: &mut BandedSym) {
+    let _ = sweep_impl(bmat, false);
+}
+
+/// [`sweep_to_tridiagonal`], additionally returning every non-trivial
+/// Householder reflector as `(row0, u, τ)` — `Q_op = I − τ·u·uᵀ` acting
+/// on global rows `row0 .. row0 + u.len()` — in application order, the
+/// record eigenvector back-transformation replays in reverse.
+pub fn sweep_to_tridiagonal_recording(bmat: &mut BandedSym) -> Vec<(usize, Vec<f64>, f64)> {
+    sweep_impl(bmat, true)
+}
+
+fn sweep_impl(bmat: &mut BandedSym, record: bool) -> Vec<(usize, Vec<f64>, f64)> {
+    let n = bmat.n();
+    let b = bmat.bandwidth();
+    let cap = bmat.capacity();
+    assert!(
+        cap >= (2 * b).min(n.saturating_sub(1)),
+        "capacity {cap} too small for bulge fill of band {b}"
+    );
+    let mut reflectors = Vec::new();
+    if b <= 1 {
+        return reflectors;
+    }
+    let plan = chase_plan_to(n, b, 1);
+    let bw = cap + 1;
+    let mut u = vec![0.0f64; b];
+    let mut pu = vec![0.0f64; 1 + 3 * b];
+    let mut v = vec![0.0f64; 1 + 3 * b];
+
+    {
+        let (slab, scale) = bmat.bands_mut_scale();
+        // ‖A‖_F bounds every entry of every orthogonal similarity of A:
+        // one high-water raise covers the whole sweep.
+        let mut fro2 = 0.0f64;
+        for j in 0..n {
+            let col = &slab[j * bw..j * bw + bw.min(n - j)];
+            fro2 += col[0] * col[0];
+            for &x in &col[1..] {
+                fro2 += 2.0 * x * x;
+            }
+        }
+        let fro = fro2.sqrt();
+        if fro > *scale {
+            *scale = fro;
+        }
+
+        for op in &plan {
+            if let Some((row0, tau)) = fused_op(slab, cap, op, &mut u, &mut pu, &mut v) {
+                if record {
+                    reflectors.push((row0, u[..op.nr()].to_vec(), tau));
+                }
+            }
+        }
+    }
+    bmat.set_bandwidth(1);
+    reflectors
+}
+
+/// One fused rank-1 chase on the raw band slab (`cap + 1` stored
+/// diagonals per column). Returns `(row0, τ)` when the op did work
+/// (with the reflector left in `u[..op.nr()]`), `None` when its column
+/// was already eliminated. `u`/`pu`/`v` are caller-provided scratch of
+/// lengths ≥ `b`, `1 + 3b`, `1 + 3b`.
+fn fused_op(
+    slab: &mut [f64],
+    cap: usize,
+    op: &ChaseOp,
+    u: &mut [f64],
+    pu: &mut [f64],
+    v: &mut [f64],
+) -> Option<(usize, f64)> {
+    let bw = cap + 1;
+    let nr = op.nr();
+    let nc = op.nc();
+    let ov = op.ov;
+    let (qr_r0, qr_c0, up_c0) = (op.qr_rows.0, op.qr_cols.0, op.up_cols.0);
+    if nr < 2 {
+        return None;
+    }
+
+    // Householder annihilating the length-nr column at
+    // (qr_r0, qr_c0) — contiguous in the slab. Same convention
+    // as qr::house_gen: u[0] = 1, (I − τuuᵀ)x = βe₁.
+    let cbase = qr_c0 * bw + (qr_r0 - qr_c0);
+    let alpha = slab[cbase];
+    let sigma2: f64 = slab[cbase + 1..cbase + nr].iter().map(|x| x * x).sum();
+    if sigma2 == 0.0 {
+        return None; // already eliminated; reflector is identity
+    }
+    let norm = (alpha * alpha + sigma2).sqrt();
+    let beta = if alpha >= 0.0 { -norm } else { norm };
+    let tau = (beta - alpha) / beta;
+    let inv = 1.0 / (alpha - beta);
+    u[0] = 1.0;
+    for (ui, x) in u[1..nr].iter_mut().zip(&slab[cbase + 1..cbase + nr]) {
+        *ui = *x * inv;
+    }
+    slab[cbase] = beta;
+    slab[cbase + 1..cbase + nr].fill(0.0);
+
+    // P·u over the strip P = B[I_up.cs, I_qr.rs], streaming the
+    // slab's two contiguous layouts: strip cell (r, c), global
+    // (up_c0 + r, qr_r0 + c), lives mirror-contiguous in row
+    // up_c0 + r when globally upper (r < ov + c) and contiguous
+    // in stored column qr_r0 + c when lower. Cells beyond the
+    // capacity are the (negligible, dropped) fill the generic
+    // engine also discards.
+    pu[..nc].fill(0.0);
+    for (r, pur) in pu[..nc.min(ov + nr)].iter_mut().enumerate() {
+        let c0 = (r + 1).saturating_sub(ov).min(nr);
+        let c1 = nr.min((cap + r + 1).saturating_sub(ov));
+        if c0 < c1 {
+            let base = (up_c0 + r) * bw + (ov + c0 - r);
+            let mut acc = 0.0f64;
+            for (s, uc) in slab[base..base + (c1 - c0)].iter().zip(&u[c0..c1]) {
+                acc += s * uc;
+            }
+            *pur += acc;
+        }
+    }
+    for (c, &uc) in u[..nr].iter().enumerate() {
+        let r0 = ov + c;
+        if r0 >= nc {
+            break;
+        }
+        let r1 = nc.min(r0 + bw);
+        let base = (qr_r0 + c) * bw;
+        for (s, pur) in slab[base..base + (r1 - r0)].iter().zip(&mut pu[r0..r1]) {
+            *pur += uc * s;
+        }
+    }
+
+    // v = −τ·P·u + ½τ²(uᵀ(P·u)_sym)·u on the symmetric rows:
+    // the rank-1 specialization of lines 19–20.
+    let swsym: f64 = u[..nr].iter().zip(&pu[ov..ov + nr]).map(|(a, b)| a * b).sum();
+    for (vr, pur) in v[..nc].iter_mut().zip(&pu[..nc]) {
+        *vr = -tau * pur;
+    }
+    let half = 0.5 * tau * tau * swsym;
+    for (vr, uc) in v[ov..ov + nr].iter_mut().zip(&u[..nr]) {
+        *vr += half * uc;
+    }
+
+    // ΔP(r, c) = v[r]·u[c] + (ov ≤ r < ov + nr) u[r−ov]·v[ov+c]
+    // (lines 21–22 restricted to the strip), written through the
+    // same two slab layouts as the gather — with one difference from
+    // the gather: strip rows ov..ov+nr and columns 0..nr form the
+    // symmetric square, whose upper-triangle strip cells alias the
+    // lower-triangle ones in band storage (strip (r, c) and
+    // (ov + c, r − ov) are the same stored cell). The delta there is
+    // symmetric, so apply it once through the lower orientation: the
+    // mirror-row pass covers only rows r < ov, which have no aliased
+    // partner in the strip.
+    for r in 0..ov.min(nc) {
+        let c1 = nr.min((cap + r + 1).saturating_sub(ov));
+        if c1 == 0 {
+            continue;
+        }
+        let base = (up_c0 + r) * bw + (ov - r);
+        let vr = v[r];
+        for (s, uc) in slab[base..base + c1].iter_mut().zip(&u[..c1]) {
+            *s += vr * uc;
+        }
+    }
+    for (c, &uc) in u[..nr].iter().enumerate() {
+        let r0 = ov + c;
+        if r0 >= nc {
+            break;
+        }
+        let r1 = nc.min(r0 + bw);
+        let base = (qr_r0 + c) * bw;
+        let sym_end = (ov + nr).min(r1);
+        let vc = v[ov + c];
+        let mut idx = 0;
+        for r in r0..sym_end {
+            slab[base + idx] += v[r] * uc + u[r - ov] * vc;
+            idx += 1;
+        }
+        for r in sym_end..r1 {
+            slab[base + idx] += v[r] * uc;
+            idx += 1;
+        }
+    }
+
+    Some((qr_r0, tau))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -928,6 +1140,113 @@ mod tests {
                 assert!(op.qr_rows.0 >= op.qr_cols.0 + b / k);
             }
         }
+    }
+
+    #[test]
+    fn fused_op_tracks_generic_chase_op_by_op() {
+        // Drive the fused kernel and the generic engine through the same
+        // h = 1 plan, comparing the dense band after every operation —
+        // pinpoints any geometric disagreement to the first bad op.
+        let (n, b) = (18usize, 3usize);
+        let mut rng = StdRng::seed_from_u64(67);
+        let dense = gen::random_banded(&mut rng, n, b);
+        let cap = (2 * b).min(n - 1);
+        let mut fused = BandedSym::from_dense(&dense, b, cap);
+        let mut generic = BandedSym::from_dense(&dense, b, cap);
+        let scale = dense.norm_fro().max(1.0);
+        let (mut u, mut pu, mut v) = (vec![0.0; b], vec![0.0; 1 + 3 * b], vec![0.0; 1 + 3 * b]);
+        for (idx, op) in chase_plan_to(n, b, 1).iter().enumerate() {
+            execute_chase(&mut generic, op);
+            {
+                let (slab, _) = fused.bands_mut_scale();
+                fused_op(slab, cap, op, &mut u, &mut pu, &mut v);
+            }
+            let diff = fused.to_dense().max_diff(&generic.to_dense());
+            assert!(
+                diff < 1e-12 * scale,
+                "op {idx} ({op:?}): fused diverged from generic by {diff}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_sweep_matches_generic_engine_spectrum() {
+        // Same plan, different kernel: the fused rank-1 sweep must land
+        // on the same tridiagonal spectrum as reduce_band_to(·, 1).
+        for (n, b, seed) in [(40usize, 6usize, 60u64), (33, 7, 61), (48, 12, 62), (21, 2, 63)] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let dense = gen::random_banded(&mut rng, n, b);
+            let cap = (2 * b).min(n - 1);
+            let mut fused = BandedSym::from_dense(&dense, b, cap);
+            let mut generic = BandedSym::from_dense(&dense, b, cap);
+            sweep_to_tridiagonal(&mut fused);
+            reduce_band_to(&mut generic, 1);
+            assert_eq!(fused.bandwidth(), 1);
+            assert!(fused.measured_bandwidth(1e-10) <= 1);
+            let (df, ef) = fused.tridiagonal();
+            let (dg, eg) = generic.tridiagonal();
+            let sf = crate::tridiag::tridiag_eigenvalues(&df, &ef);
+            let sg = crate::tridiag::tridiag_eigenvalues(&dg, &eg);
+            let dist = crate::tridiag::spectrum_distance(&sf, &sg);
+            assert!(dist < 1e-9 * dense.norm_fro().max(1.0), "n={n} b={b}: spectra differ by {dist}");
+        }
+    }
+
+    #[test]
+    fn fused_sweep_preserves_moments() {
+        let mut rng = StdRng::seed_from_u64(64);
+        let dense = gen::random_banded(&mut rng, 50, 9);
+        let (t0, f0, m0) = moments(&dense);
+        let mut bm = BandedSym::from_dense(&dense, 9, 18);
+        sweep_to_tridiagonal(&mut bm);
+        let (t1, f1, m1) = moments(&bm.to_dense());
+        let scale = f0.max(1.0);
+        assert!((t0 - t1).abs() < 1e-9 * scale);
+        assert!((f0 - f1).abs() < 1e-9 * scale);
+        assert!((m0 - m1).abs() < 1e-7 * scale.powi(3));
+    }
+
+    #[test]
+    fn fused_sweep_recording_reconstructs_similarity() {
+        // Accumulate the recorded reflectors into dense Q and verify
+        // Qᵀ·A·Q equals the tridiagonal result: the record is exactly
+        // the transform the sweep applied.
+        let (n, b) = (26usize, 5usize);
+        let mut rng = StdRng::seed_from_u64(65);
+        let dense = gen::random_banded(&mut rng, n, b);
+        let mut bm = BandedSym::from_dense(&dense, b, 2 * b);
+        let refl = sweep_to_tridiagonal_recording(&mut bm);
+        assert!(!refl.is_empty());
+        // Q = H₁·H₂·…  (application order: Hᵢᵀ…H₁ᵀ·A·H₁…Hᵢ).
+        let mut q = Matrix::identity(n);
+        for (row0, u, tau) in &refl {
+            // q ← q·(I − τuuᵀ) on columns row0..row0+len.
+            let len = u.len();
+            for r in 0..n {
+                let row = q.row_mut(r);
+                let dot: f64 = row[*row0..row0 + len].iter().zip(u).map(|(a, b)| a * b).sum();
+                for (x, uc) in row[*row0..row0 + len].iter_mut().zip(u) {
+                    *x -= tau * dot * uc;
+                }
+            }
+        }
+        let qtaq = matmul(&matmul(&q, Trans::T, &dense, Trans::N), Trans::N, &q, Trans::N);
+        let diff = qtaq.max_diff(&bm.to_dense());
+        assert!(diff < 1e-9 * dense.norm_fro().max(1.0), "QᵀAQ ≠ T: {diff}");
+        // And the recording run equals the plain run bitwise.
+        let mut plain = BandedSym::from_dense(&dense, b, 2 * b);
+        sweep_to_tridiagonal(&mut plain);
+        assert_eq!(plain, bm);
+    }
+
+    #[test]
+    fn fused_sweep_noop_on_tridiagonal_input() {
+        let mut rng = StdRng::seed_from_u64(66);
+        let dense = gen::random_banded(&mut rng, 12, 1);
+        let mut bm = BandedSym::from_dense(&dense, 1, 4);
+        let before = bm.clone();
+        assert!(sweep_to_tridiagonal_recording(&mut bm).is_empty());
+        assert_eq!(bm, before);
     }
 
     #[test]

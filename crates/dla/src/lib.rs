@@ -12,8 +12,10 @@
 //!   Householder reconstruction (Corollary III.7),
 //! * symmetric banded storage and the bulge-chasing elimination kernel
 //!   with the exact index ranges of Algorithm IV.2 ([`band`], [`bulge`]),
-//! * symmetric tridiagonal eigensolvers: implicit-shift QL and
-//!   Sturm-sequence bisection ([`tridiag`], [`sturm`]),
+//! * symmetric tridiagonal eigensolvers: implicit-shift QL,
+//!   Sturm-sequence bisection, and GEMM-rich divide-and-conquer
+//!   ([`tridiag`], [`sturm`], [`dnc`]), with runtime-tunable kernel
+//!   crossovers ([`tune`]),
 //! * reproducible matrix generators with prescribed spectra ([`gen`]),
 //! * analytic flop / vertical-traffic cost formulas ([`costs`]) used by
 //!   the virtual-BSP layer to charge local work,
@@ -33,6 +35,7 @@
 pub mod band;
 pub mod bulge;
 pub mod costs;
+pub mod dnc;
 pub mod gemm;
 pub mod gen;
 pub mod lu;
@@ -41,6 +44,7 @@ pub mod qr;
 pub mod sturm;
 pub mod sym;
 pub mod tridiag;
+pub mod tune;
 pub mod view;
 pub mod workspace;
 

@@ -10,17 +10,57 @@
 
 use crate::band::BandedSym;
 use crate::bulge;
+use crate::tune;
+
+/// Maximum implicit-QL iterations per eigenvalue before the solver
+/// reports [`NoConvergence`] (EISPACK used 30; 64 is generous — on
+/// finite input the shift strategy converges cubically).
+const MAX_QL_ITERS: usize = 64;
+
+/// A tridiagonal eigensolver failed to converge within its iteration
+/// budget. On finite input this does not occur (the Wilkinson shift
+/// strategy is globally convergent); non-finite input (NaN/∞ reaching
+/// the solver) is the practical trigger. Carried through the `try_*`
+/// entry points so distributed callers can surface a typed error
+/// instead of poisoning the run with a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NoConvergence {
+    /// The solver that gave up (e.g. `"tridiag_eigenvalues"`).
+    pub solver: &'static str,
+    /// The eigenvalue index being iterated when the budget ran out.
+    pub index: usize,
+}
+
+impl std::fmt::Display for NoConvergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: QL iteration did not converge within {} iterations (eigenvalue index {})",
+            self.solver, MAX_QL_ITERS, self.index
+        )
+    }
+}
+
+impl std::error::Error for NoConvergence {}
 
 /// Eigenvalues of the symmetric tridiagonal matrix with diagonal `d` and
 /// sub-diagonal `e` (`e.len() == d.len() − 1`), in ascending order.
 ///
 /// Implicit-shift QL with Wilkinson-style shifts (EISPACK `tql1` shape).
+/// Panics on non-convergence; [`try_tridiag_eigenvalues`] reports it as
+/// a typed error instead.
 pub fn tridiag_eigenvalues(d: &[f64], e: &[f64]) -> Vec<f64> {
+    try_tridiag_eigenvalues(d, e).unwrap_or_else(|err| panic!("{err}"))
+}
+
+/// [`tridiag_eigenvalues`] with non-convergence reported as
+/// [`NoConvergence`] instead of a panic.
+pub fn try_tridiag_eigenvalues(d: &[f64], e: &[f64]) -> Result<Vec<f64>, NoConvergence> {
     let n = d.len();
     assert!(n > 0);
     assert_eq!(e.len(), n - 1, "sub-diagonal must have n−1 entries");
     if n == 1 {
-        return vec![d[0]];
+        return Ok(vec![d[0]]);
     }
     let mut d = d.to_vec();
     // Working copy of the off-diagonal with a trailing sentinel zero.
@@ -42,7 +82,9 @@ pub fn tridiag_eigenvalues(d: &[f64], e: &[f64]) -> Vec<f64> {
                 break;
             }
             iter += 1;
-            assert!(iter <= 64, "tridiag_eigenvalues: QL iteration did not converge");
+            if iter > MAX_QL_ITERS {
+                return Err(NoConvergence { solver: "tridiag_eigenvalues", index: l });
+            }
 
             // Wilkinson shift.
             let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
@@ -82,7 +124,7 @@ pub fn tridiag_eigenvalues(d: &[f64], e: &[f64]) -> Vec<f64> {
         }
     }
     d.sort_by(|a, b| a.partial_cmp(b).expect("eigenvalues are finite"));
-    d
+    Ok(d)
 }
 
 /// Eigenvalues *and eigenvectors* of the symmetric tridiagonal matrix
@@ -93,7 +135,15 @@ pub fn tridiag_eigenvalues(d: &[f64], e: &[f64]) -> Vec<f64> {
 /// This powers the eigenvector extension (the paper's §IV.C future
 /// work): the band-reduction stages' Householder transforms are
 /// back-applied to `Z` to recover the dense matrix's eigenvectors.
+/// Panics on non-convergence; [`try_tridiag_eigen`] reports it as a
+/// typed error instead.
 pub fn tridiag_eigen(d: &[f64], e: &[f64]) -> (Vec<f64>, crate::Matrix) {
+    try_tridiag_eigen(d, e).unwrap_or_else(|err| panic!("{err}"))
+}
+
+/// [`tridiag_eigen`] with non-convergence reported as [`NoConvergence`]
+/// instead of a panic. Also the QL leaf solver of [`crate::dnc`].
+pub fn try_tridiag_eigen(d: &[f64], e: &[f64]) -> Result<(Vec<f64>, crate::Matrix), NoConvergence> {
     let n = d.len();
     assert!(n > 0);
     assert_eq!(e.len(), n - 1, "sub-diagonal must have n−1 entries");
@@ -116,7 +166,9 @@ pub fn tridiag_eigen(d: &[f64], e: &[f64]) -> (Vec<f64>, crate::Matrix) {
                 break;
             }
             iter += 1;
-            assert!(iter <= 64, "tridiag_eigen: QL iteration did not converge");
+            if iter > MAX_QL_ITERS {
+                return Err(NoConvergence { solver: "tridiag_eigen", index: l });
+            }
 
             let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
             let mut r = g.hypot(1.0);
@@ -176,22 +228,40 @@ pub fn tridiag_eigen(d: &[f64], e: &[f64]) -> (Vec<f64>, crate::Matrix) {
             }
         }
     }
-    (d, z)
+    Ok((d, z))
+}
+
+/// Eigenvalues of a symmetric banded matrix, computed sequentially.
+/// Panicking wrapper around [`try_banded_eigenvalues`].
+pub fn banded_eigenvalues(b: &BandedSym) -> Vec<f64> {
+    try_banded_eigenvalues(b).unwrap_or_else(|err| panic!("{err}"))
 }
 
 /// Eigenvalues of a symmetric banded matrix, computed sequentially:
-/// bulge-chase the band down to tridiagonal (capacity permitting, in
-/// bandwidth-halving steps; otherwise in one `k = b` sweep) and run the
-/// QL solver.
-pub fn banded_eigenvalues(b: &BandedSym) -> Vec<f64> {
+/// bulge-chase the band down to tridiagonal and run a tridiagonal
+/// eigensolver, with non-convergence reported as [`NoConvergence`].
+///
+/// The schedule is governed by [`crate::tune`]. With divide-and-conquer
+/// enabled (the default), bandwidth-halving sweeps (fat rank-`b/2`
+/// block reflectors — matrix–matrix rates) run while the band is above
+/// [`tune::halve_floor`], the remaining reduction runs as one fused
+/// rank-1 sweep ([`bulge::sweep_to_tridiagonal`]), and the tridiagonal
+/// spectrum comes from [`crate::dnc`]. With `CA_DNC=0` the legacy
+/// schedule is preserved exactly: halve to bandwidth 8, generic `h = 1`
+/// chase, implicit-QL finale.
+pub fn try_banded_eigenvalues(b: &BandedSym) -> Result<Vec<f64>, NoConvergence> {
     let n = b.n();
     if n == 1 {
-        return vec![b.get(0, 0)];
+        return Ok(vec![b.get(0, 0)]);
     }
     let bw = b.bandwidth().max(b.measured_bandwidth(0.0));
     if bw <= 1 {
         let (d, e) = b.tridiagonal();
-        return tridiag_eigenvalues(&d, &e);
+        return if tune::dnc_enabled() && d.len() > tune::dnc_leaf() {
+            crate::dnc::dnc_eigenvalues(&d, &e)
+        } else {
+            try_tridiag_eigenvalues(&d, &e)
+        };
     }
     // Re-house with enough fill capacity, then reduce to tridiagonal in
     // bandwidth-halving sweeps while the band is fat: each halving's
@@ -202,7 +272,6 @@ pub fn banded_eigenvalues(b: &BandedSym) -> Vec<f64> {
     // per-window overhead dominate the shrinking flop payload, so the
     // tail runs as one direct sweep to bandwidth 1. The initial
     // capacity 2·bw covers every later halving's 2·b′ fill as well.
-    const HALVE_FLOOR: usize = 8;
     let cap = (2 * bw).min(n - 1);
     let mut work = BandedSym::zeros(n, bw, cap);
     for j in 0..n {
@@ -210,14 +279,31 @@ pub fn banded_eigenvalues(b: &BandedSym) -> Vec<f64> {
             work.set(i, j, b.get(i, j));
         }
     }
-    while work.bandwidth() > HALVE_FLOOR {
-        bulge::reduce_band(&mut work, 2);
+    if tune::dnc_enabled() {
+        let floor = tune::halve_floor();
+        while work.bandwidth() > floor {
+            bulge::reduce_band(&mut work, 2);
+        }
+        if work.bandwidth() > 1 {
+            bulge::sweep_to_tridiagonal(&mut work);
+        }
+        let (d, e) = work.tridiagonal();
+        if d.len() > tune::dnc_leaf() {
+            crate::dnc::dnc_eigenvalues(&d, &e)
+        } else {
+            try_tridiag_eigenvalues(&d, &e)
+        }
+    } else {
+        const HALVE_FLOOR: usize = 8;
+        while work.bandwidth() > HALVE_FLOOR {
+            bulge::reduce_band(&mut work, 2);
+        }
+        if work.bandwidth() > 1 {
+            bulge::reduce_band_to(&mut work, 1);
+        }
+        let (d, e) = work.tridiagonal();
+        try_tridiag_eigenvalues(&d, &e)
     }
-    if work.bandwidth() > 1 {
-        bulge::reduce_band_to(&mut work, 1);
-    }
-    let (d, e) = work.tridiagonal();
-    tridiag_eigenvalues(&d, &e)
 }
 
 /// Compare two ascending spectra; returns the largest absolute
@@ -346,6 +432,36 @@ mod tests {
     #[test]
     fn spectrum_distance_works() {
         assert_eq!(spectrum_distance(&[1.0, 2.0], &[1.0, 2.5]), 0.5);
+    }
+
+    #[test]
+    fn non_finite_input_yields_typed_error() {
+        // NaN never satisfies the deflation test, so the QL loop runs
+        // out of budget — the typed error, not a panic or a NaN result.
+        let d = vec![1.0, f64::NAN, 2.0, 0.5];
+        let e = vec![0.3, 0.2, 0.1];
+        let err = try_tridiag_eigenvalues(&d, &e).unwrap_err();
+        assert_eq!(err.solver, "tridiag_eigenvalues");
+        assert!(err.to_string().contains("did not converge"));
+        let err = try_tridiag_eigen(&d, &e).unwrap_err();
+        assert_eq!(err.solver, "tridiag_eigen");
+    }
+
+    #[test]
+    fn banded_engines_agree_on_spectrum() {
+        // Same matrix through the legacy (halve-to-8 + QL) and tuned
+        // (fused sweep + D&C) schedules.
+        let mut rng = StdRng::seed_from_u64(54);
+        let dense = gen::random_banded(&mut rng, 60, 7);
+        let b = BandedSym::from_dense(&dense, 7, 14);
+        let was = crate::tune::dnc_enabled();
+        crate::tune::set_dnc_enabled(true);
+        let tuned = banded_eigenvalues(&b);
+        crate::tune::set_dnc_enabled(false);
+        let legacy = banded_eigenvalues(&b);
+        crate::tune::set_dnc_enabled(was);
+        let dist = spectrum_distance(&tuned, &legacy);
+        assert!(dist < 1e-9 * dense.norm_fro().max(1.0), "engines differ by {dist}");
     }
 
     fn check_tridiag_eigen(d: &[f64], e: &[f64], tol: f64) {

@@ -1,0 +1,134 @@
+//! Runtime tuning knobs for the sequential eigensolve kernels.
+//!
+//! Two schedule parameters control the band → tridiagonal → eigenvalue
+//! finale (`tridiag::banded_eigenvalues` and the solver's vectors path):
+//!
+//! * the **halving floor** — the bandwidth below which bandwidth-halving
+//!   chase sweeps (fat rank-`b/2` block reflectors, GEMM-rich) stop and
+//!   the remaining reduction runs as one fused rank-1 sweep
+//!   ([`crate::bulge::sweep_to_tridiagonal`]); and
+//! * the **divide-and-conquer leaf size** — the subproblem size below
+//!   which [`crate::dnc`] falls back to the implicit-shift QL solver.
+//!
+//! Both default to values picked by the stage-time bench on the
+//! reference host and can be overridden per process with the
+//! `CA_HALVE_FLOOR` / `CA_DNC_LEAF` environment variables, or per run
+//! with the setters (the bench harness toggles them to time both
+//! engines in one process). `CA_DNC=0` disables divide-and-conquer
+//! entirely, restoring the QL finale — the "before" leg of the
+//! stage-time comparison.
+//!
+//! Reads are lock-free atomics; the env variables are consulted once,
+//! on first read.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Default bandwidth at which halving sweeps hand over to the fused
+/// rank-1 sweep. The fused sweep's contiguous slab kernel runs near
+/// memory bandwidth, so on the reference host the direct sweep beats
+/// any halving schedule for every bandwidth the solver produces
+/// (stage-time bench, n = 512: floor 128 ≈ 36 ms vs floor 64 ≈ 48 ms
+/// vs legacy halve-to-8 ≈ 117 ms) — the default floor therefore sits
+/// above the pipeline's intermediate bandwidths, i.e. no halvings.
+pub const DEFAULT_HALVE_FLOOR: usize = 128;
+
+/// Default D&C leaf size: below this the QL solver's `O(n²)` rotations
+/// beat the merge machinery's constant factors.
+pub const DEFAULT_DNC_LEAF: usize = 40;
+
+static HALVE_FLOOR: AtomicUsize = AtomicUsize::new(0); // 0 = uninitialised
+static DNC_LEAF: AtomicUsize = AtomicUsize::new(0);
+static DNC_ENABLED: AtomicBool = AtomicBool::new(true);
+static DNC_INIT: OnceLock<()> = OnceLock::new();
+static SERIAL: OnceLock<bool> = OnceLock::new();
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+fn init() {
+    DNC_INIT.get_or_init(|| {
+        let floor = env_usize("CA_HALVE_FLOOR").unwrap_or(DEFAULT_HALVE_FLOOR);
+        HALVE_FLOOR.store(floor.max(1), Ordering::Relaxed);
+        let leaf = env_usize("CA_DNC_LEAF").unwrap_or(DEFAULT_DNC_LEAF);
+        DNC_LEAF.store(leaf.max(2), Ordering::Relaxed);
+        if let Some(v) = env_usize("CA_DNC") {
+            DNC_ENABLED.store(v != 0, Ordering::Relaxed);
+        }
+    });
+}
+
+/// Bandwidth at which halving sweeps stop and the fused rank-1 sweep
+/// finishes the reduction (env `CA_HALVE_FLOOR`).
+pub fn halve_floor() -> usize {
+    init();
+    HALVE_FLOOR.load(Ordering::Relaxed)
+}
+
+/// Override the halving floor for this process (≥ 1).
+pub fn set_halve_floor(floor: usize) {
+    init();
+    HALVE_FLOOR.store(floor.max(1), Ordering::Relaxed);
+}
+
+/// Subproblem size below which divide-and-conquer falls back to QL
+/// (env `CA_DNC_LEAF`).
+pub fn dnc_leaf() -> usize {
+    init();
+    DNC_LEAF.load(Ordering::Relaxed)
+}
+
+/// Override the D&C leaf size for this process (≥ 2).
+pub fn set_dnc_leaf(leaf: usize) {
+    init();
+    DNC_LEAF.store(leaf.max(2), Ordering::Relaxed);
+}
+
+/// Whether the divide-and-conquer engine (and with it the fused rank-1
+/// sweep schedule) is enabled (env `CA_DNC`, default on). Off restores
+/// the legacy halve-to-8 + generic-chase + QL finale byte for byte.
+pub fn dnc_enabled() -> bool {
+    init();
+    DNC_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Toggle the divide-and-conquer engine for this process.
+pub fn set_dnc_enabled(on: bool) {
+    init();
+    DNC_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// True when `CA_SERIAL=1`: recursive splits and secular root solves
+/// run in deterministic serial order instead of over rayon workers.
+/// The parallel order is bit-identical anyway (subproblems are
+/// independent and merges deterministic); the hatch exists so the
+/// serial-executor CI lane exercises one code path end to end.
+pub fn serial() -> bool {
+    *SERIAL.get_or_init(|| {
+        std::env::var("CA_SERIAL").map(|v| v == "1" || v.eq_ignore_ascii_case("true")).unwrap_or(false)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knobs_have_sane_defaults_and_roundtrip() {
+        let f0 = halve_floor();
+        let l0 = dnc_leaf();
+        assert!(f0 >= 1);
+        assert!(l0 >= 2);
+        set_halve_floor(16);
+        assert_eq!(halve_floor(), 16);
+        set_halve_floor(f0);
+        set_dnc_leaf(8);
+        assert_eq!(dnc_leaf(), 8);
+        set_dnc_leaf(l0);
+        let on = dnc_enabled();
+        set_dnc_enabled(!on);
+        assert_eq!(dnc_enabled(), !on);
+        set_dnc_enabled(on);
+    }
+}

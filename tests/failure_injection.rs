@@ -164,6 +164,31 @@ fn solver_surfaces_invalid_inputs_as_typed_errors() {
 }
 
 #[test]
+fn solver_surfaces_eigensolve_divergence_as_typed_error() {
+    // Non-finite data defeats every iteration's convergence test, so
+    // the sequential finale must give up after its iteration budget and
+    // surface the typed error instead of aborting the process. A NaN
+    // matrix passes input validation (NaN asymmetry compares false
+    // against the tolerance), making it the one reachable trigger.
+    let m = machine(4);
+    let params = EigenParams::new(4, 1);
+    let a = Matrix::from_fn(16, 16, |_, _| f64::NAN);
+    match try_symm_eigen_25d(&m, &params, &a) {
+        Err(EigenError::ConvergenceFailure { solver, .. }) => {
+            assert!(solver.starts_with("tridiag"), "unexpected solver {solver:?}");
+        }
+        Ok(_) => panic!("NaN input produced a spectrum"),
+        Err(other) => panic!("expected ConvergenceFailure, got {other:?}"),
+    }
+    // The same failure stays typed on the eigenvector path.
+    match ca_symm_eig::eigen::try_symm_eigen_25d_vectors(&m, &params, &a) {
+        Err(EigenError::ConvergenceFailure { .. }) => {}
+        Ok(_) => panic!("NaN input produced an eigenbasis"),
+        Err(other) => panic!("expected ConvergenceFailure, got {other:?}"),
+    }
+}
+
+#[test]
 #[should_panic(expected = "inner dimensions")]
 fn carma_rejects_shape_mismatch() {
     let m = machine(2);

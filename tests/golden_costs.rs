@@ -39,19 +39,23 @@ fn check(name: &str, got: Costs, want_w: u64, want_s: u64, want_f: u64) {
 
 #[test]
 fn golden_small_2d() {
-    check("n=64 p=4 c=1", run(64, 4, 1), 22480, 50, 1193388);
+    check("n=64 p=4 c=1", run(64, 4, 1), 22480, 50, 1136044);
 }
 
 #[test]
 fn golden_medium_2d() {
-    check("n=64 p=16 c=1", run(64, 16, 1), 26924, 333, 712412);
+    check("n=64 p=16 c=1", run(64, 16, 1), 26924, 333, 655068);
 }
 
 #[test]
 fn golden_replicated() {
-    // Re-pinned when power-of-two band-width snapping was removed: the
+    // Re-pinned again for the divide-and-conquer finale: the sequential
+    // eigensolve charge dropped from 6nb² + 30n² (QL rotations) to
+    // 6nb² + 16n² (secular solves + row-carrier merge GEMMs), so F
+    // fell by exactly 14n² on every configuration.
+    // Earlier re-pin, when power-of-two band-width snapping was removed: the
     // initial band-width for p = 64 is now the paper's exact
     // ⌊64/log₂ 64⌋ = 10 rather than 8, which reshapes the reduction
     // chain (fewer, larger chases: S down, F up).
-    check("n=64 p=64 c=4", run(64, 64, 4), 17882, 1304, 354348);
+    check("n=64 p=64 c=4", run(64, 64, 4), 17882, 1304, 297004);
 }
