@@ -30,7 +30,14 @@
 //!   `sequential eigensolve` stage gets its own gate this way.
 //!   Speedups (ratios of two timings on the same host) are compared
 //!   rather than absolute times, so the check is meaningful across
-//!   machines of different speeds.
+//!   machines of different speeds;
+//! * `--trace <path>` — after the benchmark legs, run one solve with
+//!   stage tracing on (`ca_obs` level 1 + allocation metering) and
+//!   write a chrome-trace JSON to `path` (load in `chrome://tracing` or
+//!   Perfetto). The run cross-checks every stage span's wall time
+//!   against the same stage's [`StageCosts::wall_secs`] entry (within
+//!   1%) and exits nonzero on disagreement, then prints the per-stage
+//!   summary table and counter totals.
 
 use ca_bsp::{Machine, MachineParams};
 use ca_dla::bulge::set_zero_copy_enabled;
@@ -42,6 +49,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
 use std::time::Instant;
+
+/// Counting allocator so traced runs report `alloc.count`/`alloc.bytes`
+/// alongside the subsystem counters. Metering is off except inside the
+/// `--trace` solve, so the benchmark legs see stock `System` behaviour.
+#[global_allocator]
+static ALLOC: ca_obs::alloc::CountingAllocator = ca_obs::alloc::CountingAllocator;
 
 /// Stage-name prefixes reported individually (matching
 /// [`StageCosts::aggregate`] prefix semantics).
@@ -145,6 +158,87 @@ fn parse_speedups(text: &str) -> Vec<(usize, String, f64)> {
     out
 }
 
+/// One traced solve (`--trace`): stage spans, subsystem counters and
+/// allocation metering on, chrome-trace JSON out, plus the
+/// span-vs-`StageCosts` wall-agreement check (1%).
+fn run_traced(trace_path: &str, n: usize, p: usize, engine: Engine) {
+    select_engine(engine, true);
+    let mut rng = StdRng::seed_from_u64(4096 + n as u64);
+    let spectrum = gen::linspace_spectrum(n, -1.0, 1.0);
+    let a = gen::symmetric_with_spectrum(&mut rng, &spectrum);
+    let machine = Machine::new(MachineParams::new(p));
+    let params = EigenParams::new(p, 1);
+
+    ca_obs::set_level(1);
+    let _ = ca_obs::drain(); // discard anything recorded before this run
+    let _ = ca_obs::take_dropped();
+    ca_obs::counters::reset();
+    ca_obs::alloc::take();
+    ca_obs::alloc::set_metering(true);
+    let (ev, stages) = symm_eigen_25d(&machine, &params, &a);
+    ca_obs::alloc::set_metering(false);
+    ca_obs::set_level(0);
+    black_box(ev);
+
+    let events = ca_obs::drain();
+    let dropped = ca_obs::take_dropped();
+    let (alloc_count, alloc_bytes) = ca_obs::alloc::take();
+    let mut counters = ca_obs::counters::snapshot();
+    counters.push(("alloc.count", alloc_count));
+    counters.push(("alloc.bytes", alloc_bytes));
+    counters.sort_by_key(|(name, _)| *name);
+
+    let json = ca_obs::export::chrome_trace(&events, &counters, dropped);
+    std::fs::write(trace_path, json).unwrap_or_else(|e| panic!("write {trace_path}: {e}"));
+    println!(
+        "wrote {trace_path} ({} spans, {dropped} dropped) — load in chrome://tracing or Perfetto",
+        events.len()
+    );
+
+    let summary = ca_obs::export::summarize(&events);
+    print!("{}", ca_obs::export::render_summary(&summary));
+    println!("counters:");
+    for (name, value) in &counters {
+        println!("  {name:<28} {value}");
+    }
+
+    // Cross-check: the trace's per-stage wall totals must agree with
+    // the StageCosts the solver returned, grouped by exact stage name
+    // (spans are opened under the same names by construction).
+    let mut expected: Vec<(String, f64)> = Vec::new();
+    for (record, &wall) in stages.stages.iter().zip(&stages.wall_secs) {
+        match expected.iter_mut().find(|(name, _)| *name == record.name) {
+            Some(e) => e.1 += wall,
+            None => expected.push((record.name.clone(), wall)),
+        }
+    }
+    let mut failed = false;
+    for (name, wall) in &expected {
+        let Some(span) = summary.iter().find(|s| &s.name == name) else {
+            eprintln!("TRACE MISMATCH: no span named {name:?}");
+            failed = true;
+            continue;
+        };
+        let diff = (span.wall_secs - wall).abs();
+        // 1% relative, with a 10 µs floor for stages too short to time.
+        let tol = (0.01 * wall).max(10e-6);
+        if diff > tol {
+            eprintln!(
+                "TRACE MISMATCH {name}: span {:.6} s vs stage {:.6} s (|Δ| {diff:.6} s > {tol:.6} s)",
+                span.wall_secs, wall
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "trace check: {} stage names agree with StageCosts::wall_secs within 1%",
+        expected.len()
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -159,6 +253,7 @@ fn main() {
     };
     let out_path = flag_value(&args, "--out").unwrap_or(default_out);
     let check = flag_value(&args, "--check");
+    let trace = flag_value(&args, "--trace");
     let sizes: &[usize] = if quick { &[256] } else { &[256, 512] };
     let (p, reps) = (4usize, 5usize);
     if engine == Engine::Dnc {
@@ -273,5 +368,9 @@ fn main() {
         if failed {
             std::process::exit(1);
         }
+    }
+
+    if let Some(trace_path) = trace {
+        run_traced(trace_path, sizes[0], p, engine);
     }
 }

@@ -57,6 +57,19 @@ fn main() -> ExitCode {
         "\n{} checks passed, {} failed — report written to {out_path}",
         report.passed, report.failed
     );
+    // With CA_TRACE ≥ 1, summarize the per-sweep spans and counters the
+    // run recorded.
+    if ca_obs::enabled() {
+        let events = ca_obs::drain();
+        let dropped = ca_obs::take_dropped();
+        print!("\n{}", ca_obs::export::render_summary(&ca_obs::export::summarize(&events)));
+        for (name, value) in ca_obs::counters::snapshot() {
+            println!("  {name:<28} {value}");
+        }
+        if dropped > 0 {
+            println!("  (trace ring overflowed: {dropped} events dropped)");
+        }
+    }
     if report.pass {
         ExitCode::SUCCESS
     } else {

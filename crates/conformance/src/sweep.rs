@@ -116,9 +116,16 @@ pub fn f2b_bandwidth(n: usize) -> usize {
 /// replication are excluded — the lemmas cost the algorithm, not the
 /// operand setup).
 pub fn measure(stage: Stage, pt: Point) -> Costs {
+    let mut span = ca_obs::span(&format!(
+        "conformance {} (n={}, p={}, c={})",
+        stage.name(),
+        pt.n,
+        pt.p,
+        pt.c
+    ));
     let mut rng = StdRng::seed_from_u64(seed(stage, pt));
     let machine = Machine::new(MachineParams::new(pt.p));
-    match stage {
+    let costs = match stage {
         Stage::StreamingMm => {
             let params = EigenParams::new_unchecked(pt.p, pt.c);
             let grid3 = params.grid3();
@@ -179,7 +186,14 @@ pub fn measure(stage: Stage, pt: Point) -> Costs {
             );
             costs
         }
-    }
+    };
+    span.set_costs(
+        costs.flops,
+        costs.horizontal_words,
+        costs.vertical_words,
+        costs.supersteps,
+    );
+    costs
 }
 
 /// The closed-form model prediction ([`ca_eigen::model`]) for `stage`

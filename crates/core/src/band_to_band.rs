@@ -120,6 +120,7 @@ fn band_to_band_impl(
     v_mem: usize,
     mut rec: Option<&mut Vec<crate::transforms::Reflectors>>,
 ) -> (BandedSym, BandToBandTrace) {
+    let _span = ca_obs::kernel_span("driver.band_to_band");
     let n = bmat.n();
     let b = bmat.bandwidth();
     assert!(h >= 1 && h <= b, "need 1 ≤ h ≤ band-width");

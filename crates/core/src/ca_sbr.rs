@@ -41,6 +41,7 @@ fn ca_sbr_impl(
     bmat: &BandedSym,
     mut rec: Option<&mut Vec<crate::transforms::Reflectors>>,
 ) -> BandedSym {
+    let _span = ca_obs::kernel_span("driver.ca_sbr");
     let n = bmat.n();
     let b = bmat.bandwidth();
     assert!(b >= 2, "cannot halve a band-width below 2");

@@ -32,6 +32,15 @@ pub enum EigenError {
         /// Measured `max |A − Aᵀ|` relative to `max |A|`.
         asymmetry: f64,
     },
+    /// The input matrix contains a NaN or infinity. Checked up front:
+    /// NaN compares false against every tolerance, so it would
+    /// otherwise pass the symmetry gate and die deep in the reduction.
+    NonFiniteInput {
+        /// Row of the first non-finite entry.
+        row: usize,
+        /// Column of the first non-finite entry.
+        col: usize,
+    },
     /// `p = 0`: at least one processor is required.
     NoProcessors,
     /// The replication factor does not divide the processor count
@@ -103,6 +112,9 @@ impl fmt::Display for EigenError {
             Self::AsymmetricInput { asymmetry } => {
                 write!(f, "input must be symmetric (relative asymmetry {asymmetry:.3e})")
             }
+            Self::NonFiniteInput { row, col } => {
+                write!(f, "input must be finite (non-finite entry at ({row}, {col}))")
+            }
             Self::NoProcessors => write!(f, "at least one processor is required (p = 0)"),
             Self::ReplicationMismatch { p, c } => {
                 write!(f, "c must divide p (got p = {p}, c = {c})")
@@ -151,6 +163,10 @@ mod tests {
         let cases: Vec<(EigenError, &str)> = vec![
             (EigenError::NonSquareInput { rows: 3, cols: 4 }, "3 × 4"),
             (EigenError::TooSmall { n: 1 }, "n = 1"),
+            (
+                EigenError::NonFiniteInput { row: 2, col: 5 },
+                "non-finite entry at (2, 5)",
+            ),
             (EigenError::NoProcessors, "p = 0"),
             (EigenError::ReplicationMismatch { p: 10, c: 3 }, "c must divide p"),
             (EigenError::NonSquareGrid { p: 24, c: 2 }, "perfect square"),

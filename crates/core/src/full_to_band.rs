@@ -118,6 +118,7 @@ fn full_to_band_impl(
     b: usize,
     mut rec: Option<&mut Vec<crate::transforms::Reflectors>>,
 ) -> (BandedSym, FullToBandTrace) {
+    let _span = ca_obs::kernel_span("driver.full_to_band");
     let n = a.rows();
     assert_eq!(n, a.cols(), "input must be square");
     assert!(a.asymmetry() < 1e-10 * a.norm_max().max(1.0), "input must be symmetric");

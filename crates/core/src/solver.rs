@@ -49,6 +49,22 @@ impl StageCosts {
         self.wall_secs.push(secs);
     }
 
+    /// Open a measured stage: snapshots the ledger, starts the wall
+    /// clock, and opens a `ca_obs` span under the *same name* the
+    /// [`StageRecord`](ca_bsp::StageRecord) will carry — so a trace's
+    /// per-stage wall totals and cost deltas agree with this struct by
+    /// construction, not by parallel bookkeeping.
+    fn begin<'m>(&mut self, machine: &'m Machine, name: String) -> StageScope<'m> {
+        let span = ca_obs::span(&name);
+        StageScope {
+            machine,
+            name,
+            span,
+            snap: machine.snapshot(),
+            t0: std::time::Instant::now(),
+        }
+    }
+
     /// Summed measured wall-clock seconds over every stage whose name
     /// starts with `prefix` (`""` sums everything).
     pub fn wall_seconds(&self, prefix: &str) -> f64 {
@@ -86,6 +102,28 @@ impl StageCosts {
     /// Number of stages whose name starts with `prefix`.
     pub fn count(&self, prefix: &str) -> usize {
         self.stages.iter().filter(|s| s.name.starts_with(prefix)).count()
+    }
+}
+
+/// An open measured stage (see [`StageCosts::begin`]): [`StageScope::end`]
+/// reads the ledger delta and elapsed wall time once and feeds the one
+/// reading to both the [`StageCosts`] record and the trace span.
+struct StageScope<'m> {
+    machine: &'m Machine,
+    name: String,
+    span: ca_obs::SpanGuard,
+    snap: ca_bsp::CostSnapshot,
+    t0: std::time::Instant,
+}
+
+impl StageScope<'_> {
+    fn end(mut self, costs: &mut StageCosts) {
+        let c = self.machine.costs_since(&self.snap);
+        let secs = self.t0.elapsed().as_secs_f64();
+        self.span
+            .set_costs(c.flops, c.horizontal_words, c.vertical_words, c.supersteps);
+        costs.push(&self.name, c, secs);
+        // `self.span` drops here, stamping the span's end time.
     }
 }
 
@@ -171,6 +209,15 @@ fn validate_input(params: &EigenParams, a: &Matrix) -> Result<(), EigenError> {
     if a.rows() < 2 {
         return Err(EigenError::TooSmall { n: a.rows() });
     }
+    // Before the symmetry check: NaN entries compare false against the
+    // tolerance, so an all-NaN matrix would otherwise sail through and
+    // surface much later as a convergence failure.
+    if let Some(idx) = a.data().iter().position(|v| !v.is_finite()) {
+        return Err(EigenError::NonFiniteInput {
+            row: idx / a.cols(),
+            col: idx % a.cols(),
+        });
+    }
     let scale = a.norm_max().max(1.0);
     if a.asymmetry() >= 1e-10 * scale {
         return Err(EigenError::AsymmetricInput {
@@ -194,8 +241,7 @@ fn solve_impl(
 
     // Stage 1: full → band at b = n / max(p^{2−3δ}, log₂ p).
     let b0 = params.initial_bandwidth(n);
-    let snap = machine.snapshot();
-    let t0 = std::time::Instant::now();
+    let scope = costs.begin(machine, format!("full-to-band (b={b0})"));
     let (mut band, _) = if want_vectors {
         crate::full_to_band::full_to_band_logged(
             machine,
@@ -207,11 +253,7 @@ fn solve_impl(
     } else {
         full_to_band(machine, params, a, b0)
     };
-    costs.push(
-        &format!("full-to-band (b={b0})"),
-        machine.costs_since(&snap),
-        t0.elapsed().as_secs_f64(),
-    );
+    scope.end(&mut costs);
 
     // Stage 2: successive band reductions on shrinking prefixes until
     // b ≤ n/pᵟ. Arbitrary n: the target is the exact ceiling division
@@ -245,8 +287,10 @@ fn solve_impl(
         // the straggler holding the ragged remainder sets the cost.
         // Inside the stage snapshot, so the stage records cover the
         // ledger exactly.
-        let snap = machine.snapshot();
-        let t0 = std::time::Instant::now();
+        let scope = costs.begin(
+            machine,
+            format!("band-to-band (b={bw}→{target}, p̄={active})"),
+        );
         coll::gather(
             machine,
             &Grid::all(p),
@@ -266,14 +310,7 @@ fn solve_impl(
         } else {
             crate::band_to_band::band_to_band_to(machine, &grid, &band, target, v_mem)
         };
-        costs.push(
-            &format!(
-                "band-to-band (b={}→{target}, p̄={active})",
-                band.bandwidth()
-            ),
-            machine.costs_since(&snap),
-            t0.elapsed().as_secs_f64(),
-        );
+        scope.end(&mut costs);
         band = next;
         stage += 1;
     }
@@ -284,8 +321,14 @@ fn solve_impl(
     let sbr_procs = params.p_delta().clamp(1, p);
     let sbr_grid = Grid::all(p).prefix(sbr_procs);
     while band.bandwidth() > target_low && band.bandwidth() >= 2 {
-        let snap = machine.snapshot();
-        let t0 = std::time::Instant::now();
+        let scope = costs.begin(
+            machine,
+            format!(
+                "ca-sbr (b={}→{})",
+                band.bandwidth(),
+                band.bandwidth().div_ceil(2)
+            ),
+        );
         let next = if want_vectors {
             crate::ca_sbr::ca_sbr_logged(
                 machine,
@@ -296,21 +339,12 @@ fn solve_impl(
         } else {
             ca_sbr(machine, &sbr_grid, &band)
         };
-        costs.push(
-            &format!(
-                "ca-sbr (b={}→{})",
-                band.bandwidth(),
-                band.bandwidth().div_ceil(2)
-            ),
-            machine.costs_since(&snap),
-            t0.elapsed().as_secs_f64(),
-        );
+        scope.end(&mut costs);
         band = next;
     }
 
     // Stage 4: gather and solve sequentially (line 11).
-    let snap = machine.snapshot();
-    let t0 = std::time::Instant::now();
+    let scope = costs.begin(machine, "sequential eigensolve".to_string());
     let bw = band.bandwidth();
     coll::gather(
         machine,
@@ -334,11 +368,7 @@ fn solve_impl(
     if !want_vectors {
         let ev = ca_dla::tridiag::try_banded_eigenvalues(&band)?;
         machine.fence();
-        costs.push(
-            "sequential eigensolve",
-            machine.costs_since(&snap),
-            t0.elapsed().as_secs_f64(),
-        );
+        scope.end(&mut costs);
         return Ok((ev, costs, None));
     }
 
@@ -398,21 +428,12 @@ fn solve_impl(
     };
     machine.charge_flops(machine_proc0(), (6 * (n as u64).pow(3)).div_ceil(p as u64));
     machine.fence();
-    costs.push(
-        "sequential eigensolve",
-        machine.costs_since(&snap),
-        t0.elapsed().as_secs_f64(),
-    );
+    scope.end(&mut costs);
 
     // Back-transformation (§IV.C): V = Q₁⋯Q_m·Z, O(n³) per stage.
-    let snap = machine.snapshot();
-    let t0 = std::time::Instant::now();
+    let scope = costs.begin(machine, "back-transformation".to_string());
     let v = crate::transforms::back_transform(machine, &Grid::all(p), &log, &z);
-    costs.push(
-        "back-transformation",
-        machine.costs_since(&snap),
-        t0.elapsed().as_secs_f64(),
-    );
+    scope.end(&mut costs);
 
     Ok((ev, costs, Some(v)))
 }

@@ -90,6 +90,7 @@ const PANEL: usize = 64;
 /// Rank-1 reflectors (the fused sweep's records) take a two-pass scalar
 /// path with no per-reflector temporaries.
 pub fn back_transform(machine: &Machine, grid: &Grid, log: &TransformLog, z: &Matrix) -> Matrix {
+    let _span = ca_obs::kernel_span("driver.back_transform");
     let n = z.rows();
     let p = grid.len() as u64;
     let ncols = z.cols();

@@ -35,6 +35,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 /// seed's dense-window reference path.
 static ZERO_COPY: AtomicBool = AtomicBool::new(true);
 
+/// Chase-window executions (all dispatch variants); live only when
+/// `CA_TRACE ≥ 1`, otherwise one relaxed load per chase.
+static CHASE_WINDOWS: ca_obs::Counter = ca_obs::Counter::new("bulge.chase_windows");
+
 /// Enable or disable the zero-copy chase engine. The reference path
 /// produces bitwise identical band matrices and `(U, T)` factors — the
 /// toggle exists for A/B benchmarking and for the equivalence oracles
@@ -171,6 +175,7 @@ pub fn chase_plan_to(n: usize, b: usize, h: usize) -> Vec<ChaseOp> {
 /// Returns the flop-relevant shapes `(nr, h, nc)` so callers can charge
 /// costs.
 pub fn chase_window_update(d: &mut Matrix, op: &ChaseOp) -> (usize, usize, usize) {
+    CHASE_WINDOWS.add(1);
     if zero_copy_enabled() {
         with_ws(|ws| chase_dense_fast(d, op, ws, false));
     } else {
@@ -184,6 +189,7 @@ pub fn chase_window_update(d: &mut Matrix, op: &ChaseOp) -> (usize, usize, usize
 /// global rows `op.qr_rows`) — the record needed for eigenvector
 /// back-transformation.
 pub fn chase_window_update_factors(d: &mut Matrix, op: &ChaseOp) -> (Matrix, Matrix) {
+    CHASE_WINDOWS.add(1);
     if zero_copy_enabled() {
         with_ws(|ws| chase_dense_fast(d, op, ws, true)).expect("recording chase returns factors")
     } else {
@@ -681,6 +687,7 @@ fn chase_banded_fast(
 /// engine disabled this falls back to [`execute_chase_reference`]
 /// (bitwise identical results either way).
 pub fn execute_chase(bmat: &mut BandedSym, op: &ChaseOp) {
+    CHASE_WINDOWS.add(1);
     if zero_copy_enabled() {
         with_ws(|ws| chase_banded_fast(bmat, op, ws, false));
     } else {
@@ -700,6 +707,7 @@ pub fn execute_chase_reference(bmat: &mut BandedSym, op: &ChaseOp) {
 /// [`execute_chase`], additionally returning the chase's Householder
 /// factors `(U, T)` acting on global rows `op.qr_rows`.
 pub fn execute_chase_recording(bmat: &mut BandedSym, op: &ChaseOp) -> (Matrix, Matrix) {
+    CHASE_WINDOWS.add(1);
     if zero_copy_enabled() {
         with_ws(|ws| chase_banded_fast(bmat, op, ws, true)).expect("recording chase returns factors")
     } else {

@@ -57,6 +57,10 @@ use crate::tridiag::{try_tridiag_eigen, NoConvergence};
 use crate::tune;
 use rayon::prelude::*;
 
+// Secular-equation work counters (live only when `CA_TRACE ≥ 1`).
+static SECULAR_ROOTS: ca_obs::Counter = ca_obs::Counter::new("dnc.secular_roots");
+static SECULAR_ITERS: ca_obs::Counter = ca_obs::Counter::new("dnc.secular_iters");
+
 const EPS: f64 = f64::EPSILON;
 /// Secular systems at least this large solve their roots over rayon
 /// workers (same threshold flavour as `sturm::PAR_EIGS`).
@@ -412,6 +416,7 @@ fn eval_g(delta: &[f64], zk: &[f64], rho: f64, mu: f64, split: usize) -> Secular
 /// bracket, with bisection whenever the rational candidate leaves the
 /// bracket — convergence is unconditional.
 fn secular_root(dk: &[f64], zk: &[f64], rho: f64, j: usize) -> Root {
+    SECULAR_ROOTS.add(1);
     let m = dk.len();
     if m == 1 {
         // 1 + ρz²/(d − λ) = 0 ⇒ λ = d + ρz² (z is unit so z² = 1, but
@@ -454,6 +459,7 @@ fn secular_root(dk: &[f64], zk: &[f64], rho: f64, j: usize) -> Root {
     let mut mu = 0.5 * (lo + hi);
     let (e1, e2) = (delta[p1], delta[p2]);
     for _iter in 0..80 {
+        SECULAR_ITERS.add(1);
         let ev = eval_g(&delta, zk, rho, mu, p2);
         if !ev.g.is_finite() {
             // Landed exactly on a pole: retreat to the bracket midpoint

@@ -387,6 +387,7 @@ fn gemm_blocked(alpha: f64, a: &MatrixView, ta: Trans, b: &MatrixView, tb: Trans
 
 /// Convenience: allocate and return `op(A)·op(B)`.
 pub fn matmul(a: &Matrix, ta: Trans, b: &Matrix, tb: Trans) -> Matrix {
+    let _span = ca_obs::kernel_span("gemm.matmul");
     let m = match ta {
         Trans::N => a.rows(),
         Trans::T => a.cols(),

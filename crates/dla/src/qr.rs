@@ -235,6 +235,7 @@ pub(crate) fn form_t_view(u: &MatrixView, taus: &[f64], t: &mut MatrixViewMut, w
 /// assert!(matmul(&q, Trans::N, &f.r, Trans::N).max_diff(&a) < 1e-12);
 /// ```
 pub fn qr_factor(a: &Matrix, nb: usize) -> QrFactors {
+    let _span = ca_obs::kernel_span("qr.factor");
     let (m, n) = (a.rows(), a.cols());
     let k = m.min(n);
     let mut w = a.clone();

@@ -19,7 +19,9 @@
 //! stage-time comparison.
 //!
 //! Reads are lock-free atomics; the env variables are consulted once,
-//! on first read.
+//! on first read, through the shared [`ca_obs::knobs`] parser (so a
+//! malformed value like `CA_DNC=fast` warns on stderr instead of being
+//! silently ignored).
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::OnceLock;
@@ -41,19 +43,14 @@ static HALVE_FLOOR: AtomicUsize = AtomicUsize::new(0); // 0 = uninitialised
 static DNC_LEAF: AtomicUsize = AtomicUsize::new(0);
 static DNC_ENABLED: AtomicBool = AtomicBool::new(true);
 static DNC_INIT: OnceLock<()> = OnceLock::new();
-static SERIAL: OnceLock<bool> = OnceLock::new();
-
-fn env_usize(name: &str) -> Option<usize> {
-    std::env::var(name).ok()?.trim().parse().ok()
-}
 
 fn init() {
     DNC_INIT.get_or_init(|| {
-        let floor = env_usize("CA_HALVE_FLOOR").unwrap_or(DEFAULT_HALVE_FLOOR);
+        let floor = ca_obs::knobs::usize_env("CA_HALVE_FLOOR").unwrap_or(DEFAULT_HALVE_FLOOR);
         HALVE_FLOOR.store(floor.max(1), Ordering::Relaxed);
-        let leaf = env_usize("CA_DNC_LEAF").unwrap_or(DEFAULT_DNC_LEAF);
+        let leaf = ca_obs::knobs::usize_env("CA_DNC_LEAF").unwrap_or(DEFAULT_DNC_LEAF);
         DNC_LEAF.store(leaf.max(2), Ordering::Relaxed);
-        if let Some(v) = env_usize("CA_DNC") {
+        if let Some(v) = ca_obs::knobs::usize_env("CA_DNC") {
             DNC_ENABLED.store(v != 0, Ordering::Relaxed);
         }
     });
@@ -99,15 +96,16 @@ pub fn set_dnc_enabled(on: bool) {
     DNC_ENABLED.store(on, Ordering::Relaxed);
 }
 
-/// True when `CA_SERIAL=1`: recursive splits and secular root solves
-/// run in deterministic serial order instead of over rayon workers.
-/// The parallel order is bit-identical anyway (subproblems are
-/// independent and merges deterministic); the hatch exists so the
-/// serial-executor CI lane exercises one code path end to end.
+/// True when the shared `CA_SERIAL` knob is truthy
+/// (`1`/`true`/`yes`/`on` — see [`ca_obs::knobs::serial`]): recursive
+/// splits and secular root solves run in deterministic serial order
+/// instead of over rayon workers. The parallel order is bit-identical
+/// anyway (subproblems are independent and merges deterministic); the
+/// hatch exists so the serial-executor CI lane exercises one code path
+/// end to end. This is the same knob read the BSP executor uses, so the
+/// two subsystems can never disagree about what `CA_SERIAL=yes` means.
 pub fn serial() -> bool {
-    *SERIAL.get_or_init(|| {
-        std::env::var("CA_SERIAL").map(|v| v == "1" || v.eq_ignore_ascii_case("true")).unwrap_or(false)
-    })
+    ca_obs::knobs::serial()
 }
 
 #[cfg(test)]

@@ -23,6 +23,13 @@
 
 use std::cell::RefCell;
 
+// Trace counters (live only when `CA_TRACE ≥ 1`; otherwise one relaxed
+// load each — the steady-state allocation tests run with tracing off
+// and still see zero heap traffic here).
+static WS_CHECKOUTS: ca_obs::Counter = ca_obs::Counter::new("workspace.checkouts");
+static WS_GROWS: ca_obs::Counter = ca_obs::Counter::new("workspace.grows");
+static WS_HIGH_WATER: ca_obs::Counter = ca_obs::Counter::new("workspace.high_water_words");
+
 /// Checkout counters exposed for the steady-state allocation tests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct WorkspaceStats {
@@ -56,6 +63,8 @@ impl Workspace {
     /// the pool is empty), counting a `grow`.
     pub fn take(&mut self, len: usize) -> Vec<f64> {
         self.checkouts += 1;
+        WS_CHECKOUTS.add(1);
+        WS_HIGH_WATER.record_max(len as u64);
         let mut best: Option<(usize, usize)> = None; // (index, capacity)
         let mut largest: Option<(usize, usize)> = None;
         for (idx, buf) in self.pool.iter().enumerate() {
@@ -73,6 +82,7 @@ impl Workspace {
         };
         if buf.capacity() < len {
             self.grows += 1;
+            WS_GROWS.add(1);
         }
         buf.clear();
         buf.resize(len, 0.0);

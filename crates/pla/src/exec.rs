@@ -29,23 +29,23 @@
 //! synchronization is needed. A warm arena makes steady-state bulge
 //! chasing allocation-free regardless of which worker a rank lands on.
 //!
-//! Set `CA_SERIAL=1` to force serial in-order execution — the escape
+//! Set `CA_SERIAL` truthy (`1`/`true`/`yes`/`on`, per
+//! [`ca_obs::knobs`]) to force serial in-order execution — the escape
 //! hatch for debugging and for measuring the parallel overhead itself.
 
 use std::cell::Cell;
-use std::sync::OnceLock;
 
 thread_local! {
     static FORCE_SERIAL: Cell<bool> = const { Cell::new(false) };
 }
 
-/// True when `CA_SERIAL` is set (to anything but `0`), or inside a
-/// [`with_forced_serial`] scope: all executor entry points then run
-/// their bodies inline, in rank order.
+/// True when the shared `CA_SERIAL` knob ([`ca_obs::knobs::serial`]) is
+/// truthy, or inside a [`with_forced_serial`] scope: all executor entry
+/// points then run their bodies inline, in rank order. The same knob
+/// read gates every other parallel path in the repo (D&C splits,
+/// back-transformation), so one setting means one behaviour everywhere.
 pub fn serial_forced() -> bool {
-    static FORCED: OnceLock<bool> = OnceLock::new();
-    FORCE_SERIAL.with(Cell::get)
-        || *FORCED.get_or_init(|| std::env::var("CA_SERIAL").is_ok_and(|v| v != "0"))
+    FORCE_SERIAL.with(Cell::get) || ca_obs::knobs::serial()
 }
 
 /// Run `f` with executor dispatch forced serial on this thread,
@@ -71,6 +71,7 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    let _span = ca_obs::kernel_span("exec.par_ranks");
     if serial_forced() || n <= 1 {
         return (0..n).map(f).collect();
     }
@@ -83,6 +84,7 @@ pub fn for_each_rank<F>(n: usize, f: F)
 where
     F: Fn(usize) + Sync,
 {
+    let _span = ca_obs::kernel_span("exec.for_each_rank");
     if serial_forced() || n <= 1 {
         (0..n).for_each(f);
         return;
@@ -98,6 +100,7 @@ where
     T: Send,
     F: Fn(usize, &mut T) + Sync,
 {
+    let _span = ca_obs::kernel_span("exec.par_over");
     if serial_forced() || items.len() <= 1 {
         for (r, item) in items.iter_mut().enumerate() {
             f(r, item);

@@ -11,5 +11,6 @@
 pub use ca_bsp as bsp;
 pub use ca_dla as dla;
 pub use ca_eigen as eigen;
+pub use ca_obs as obs;
 pub use ca_pla as pla;
 pub mod paper;

@@ -164,28 +164,36 @@ fn solver_surfaces_invalid_inputs_as_typed_errors() {
 }
 
 #[test]
-fn solver_surfaces_eigensolve_divergence_as_typed_error() {
-    // Non-finite data defeats every iteration's convergence test, so
-    // the sequential finale must give up after its iteration budget and
-    // surface the typed error instead of aborting the process. A NaN
-    // matrix passes input validation (NaN asymmetry compares false
-    // against the tolerance), making it the one reachable trigger.
+fn solver_rejects_non_finite_input_up_front() {
+    // NaN compares false against every tolerance, so without an
+    // explicit gate a NaN matrix sails through the symmetry check and
+    // defeats every convergence test deep in the reduction. The solver
+    // now rejects non-finite entries at validation, naming the first
+    // offending coordinate, before anything is charged to the ledger.
     let m = machine(4);
     let params = EigenParams::new(4, 1);
-    let a = Matrix::from_fn(16, 16, |_, _| f64::NAN);
-    match try_symm_eigen_25d(&m, &params, &a) {
-        Err(EigenError::ConvergenceFailure { solver, .. }) => {
-            assert!(solver.starts_with("tridiag"), "unexpected solver {solver:?}");
-        }
-        Ok(_) => panic!("NaN input produced a spectrum"),
-        Err(other) => panic!("expected ConvergenceFailure, got {other:?}"),
-    }
-    // The same failure stays typed on the eigenvector path.
-    match ca_symm_eig::eigen::try_symm_eigen_25d_vectors(&m, &params, &a) {
-        Err(EigenError::ConvergenceFailure { .. }) => {}
-        Ok(_) => panic!("NaN input produced an eigenbasis"),
-        Err(other) => panic!("expected ConvergenceFailure, got {other:?}"),
-    }
+    let mut a = Matrix::from_fn(16, 16, |i, j| ((i + j) as f64).sin());
+    a.symmetrize();
+    a.set(3, 7, f64::NAN);
+    assert!(matches!(
+        try_symm_eigen_25d(&m, &params, &a),
+        Err(EigenError::NonFiniteInput { row: 3, col: 7 })
+    ));
+    // Same gate on the eigenvector path, and for infinities.
+    a.set(3, 7, f64::NEG_INFINITY);
+    assert!(matches!(
+        ca_symm_eig::eigen::try_symm_eigen_25d_vectors(&m, &params, &a),
+        Err(EigenError::NonFiniteInput { row: 3, col: 7 })
+    ));
+    // An all-NaN matrix is caught at (0, 0) rather than reaching the
+    // sequential finale's iteration budget.
+    let nan = Matrix::from_fn(16, 16, |_, _| f64::NAN);
+    assert!(matches!(
+        try_symm_eigen_25d(&m, &params, &nan),
+        Err(EigenError::NonFiniteInput { row: 0, col: 0 })
+    ));
+    assert_eq!(m.report().horizontal_words, 0, "rejected request charged the ledger");
+    assert_eq!(m.report().supersteps, 0);
 }
 
 #[test]

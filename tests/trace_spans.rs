@@ -1,0 +1,120 @@
+//! Span-tree pin tests for the `ca_obs` tracing layer.
+//!
+//! One test (the global ring and trace level are process-wide, so the
+//! phases share one `#[test]` instead of racing each other):
+//!
+//! * level 1: the solver emits exactly one stage span per
+//!   [`StageCosts`] record, under the same name, and the spans'
+//!   metered F/W/Q/S deltas sum to the machine ledger's totals;
+//! * level 2: kernel-detail spans appear, and per thread every pair of
+//!   spans is properly nested or disjoint (the guards are scoped, so
+//!   intervals on one thread must form a tree).
+
+use ca_symm_eig::bsp::{Machine, MachineParams};
+use ca_symm_eig::dla::gen;
+use ca_symm_eig::eigen::solver::StageCosts;
+use ca_symm_eig::eigen::{symm_eigen_25d, EigenParams};
+use ca_symm_eig::obs;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+fn solve(n: usize, p: usize, seed: u64) -> (Machine, StageCosts) {
+    let machine = Machine::new(MachineParams::new(p));
+    let params = EigenParams::new(p, 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = gen::random_symmetric(&mut rng, n);
+    let (_, stages) = symm_eigen_25d(&machine, &params, &a);
+    (machine, stages)
+}
+
+/// Per-thread nesting check: sweep the spans in start order and verify
+/// each fits inside whatever span encloses it.
+fn assert_intervals_nest(tid: u32, events: &[obs::Event]) {
+    let mut spans: Vec<&obs::Event> = events.iter().collect();
+    spans.sort_by_key(|e| (e.start_ns, std::cmp::Reverse(e.end_ns)));
+    let mut enclosing_ends: Vec<u64> = Vec::new();
+    for e in spans {
+        while enclosing_ends.last().is_some_and(|&end| e.start_ns >= end) {
+            enclosing_ends.pop();
+        }
+        if let Some(&end) = enclosing_ends.last() {
+            assert!(
+                e.end_ns <= end,
+                "tid {tid}: span {:?} [{}, {}] straddles the end ({end}) of its enclosing span",
+                e.name(),
+                e.start_ns,
+                e.end_ns
+            );
+        }
+        enclosing_ends.push(e.end_ns);
+    }
+}
+
+#[test]
+fn stage_spans_pin_names_costs_and_nesting() {
+    // Phase 1 — level 1: stage spans only, 1:1 with StageCosts.
+    obs::set_level(1);
+    let _ = obs::drain();
+    let _ = obs::take_dropped();
+    let (machine, stages) = solve(64, 4, 42);
+    obs::set_level(0);
+    let events = obs::drain();
+    assert_eq!(obs::take_dropped(), 0, "stage-level trace must not overflow the ring");
+
+    let span_names: Vec<&str> = events.iter().map(|e| e.name()).collect();
+    let stage_names: Vec<&str> = stages.stages.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(
+        span_names, stage_names,
+        "level 1 must emit exactly the StageCosts stages, in order, under the same names"
+    );
+    assert!(
+        !events.iter().any(|e| {
+            let n = e.name();
+            n.starts_with("exec.") || n.starts_with("gemm.") || n.starts_with("qr.")
+                || n.starts_with("driver.")
+        }),
+        "kernel-detail spans must stay inert at level 1"
+    );
+
+    // The spans' metered deltas must sum to the machine ledger —
+    // tracing reads the same Costs the StageRecords carry.
+    let ledger = machine.report();
+    let sum = |f: fn(&obs::Event) -> u64| events.iter().map(f).sum::<u64>();
+    assert_eq!(sum(|e| e.flops), stages.total().flops);
+    assert_eq!(sum(|e| e.horizontal_words), ledger.horizontal_words);
+    assert_eq!(sum(|e| e.vertical_words), ledger.vertical_words);
+    assert_eq!(sum(|e| e.supersteps), ledger.supersteps);
+    for ev in &events {
+        assert!(ev.end_ns >= ev.start_ns, "span {:?} ends before it starts", ev.name());
+    }
+
+    // Phase 2 — level 2: kernel spans appear and nest per thread.
+    obs::set_level(2);
+    let _ = obs::drain();
+    let _ = obs::take_dropped();
+    let (_, stages2) = solve(64, 4, 42);
+    obs::set_level(0);
+    let events2 = obs::drain();
+
+    assert!(
+        events2.iter().any(|e| e.name().starts_with("driver.")),
+        "level 2 must record stage-driver spans"
+    );
+    assert!(
+        events2.len() > stages2.stages.len(),
+        "level 2 must record more than the stage spans"
+    );
+    assert!(
+        events2.iter().any(|e| e.depth > 0),
+        "kernel spans under a stage span must carry depth > 0"
+    );
+
+    let mut by_tid: BTreeMap<u32, Vec<obs::Event>> = BTreeMap::new();
+    for ev in events2 {
+        by_tid.entry(ev.tid).or_default().push(ev);
+    }
+    for (tid, evs) in &by_tid {
+        assert_intervals_nest(*tid, evs);
+    }
+}
