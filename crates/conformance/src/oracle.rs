@@ -143,26 +143,42 @@ fn max_abs_diff(x: &[f64], y: &[f64]) -> f64 {
         .fold(0.0, f64::max)
 }
 
+/// Scaled eigenpair residual `‖AV − VΛ‖_max / (n‖A‖_max)` — oracle #1.
+///
+/// Public so downstream property tests (e.g. the service batch sweep in
+/// the umbrella crate) apply *the same* acceptance metric as the
+/// conformance gallery rather than reinventing a near-miss of it.
+pub fn residual_defect(a: &Matrix, eigenvalues: &[f64], v: &Matrix) -> f64 {
+    let n = a.rows();
+    let scale = a.norm_max().max(1.0);
+    let av = matmul(a, Trans::N, v, Trans::N);
+    let mut vl = v.clone();
+    for (j, lambda) in eigenvalues.iter().enumerate() {
+        for i in 0..n {
+            vl.set(i, j, vl.get(i, j) * lambda);
+        }
+    }
+    av.max_diff(&vl) / (n as f64 * scale)
+}
+
+/// Basis-drift defect `‖VᵀV − I‖_max` — oracle #2. See
+/// [`residual_defect`] for why this is public.
+pub fn orthogonality_defect(v: &Matrix) -> f64 {
+    let vtv = matmul(v, Trans::T, v, Trans::N);
+    vtv.max_diff(&Matrix::identity(v.rows()))
+}
+
 /// Run the full oracle battery for one gallery entry at `(p, c)`.
 fn check_entry(entry: &GalleryEntry, p: usize, c: usize, tol: f64) -> OracleOut {
     let a = &entry.a;
     let n = a.rows();
     let scale = a.norm_max().max(1.0);
-    let nf = n as f64;
 
     // Eigenpairs: residual + orthogonality.
     let m = Machine::new(MachineParams::new(p));
     let (ev, v, _) = symm_eigen_25d_vectors(&m, &EigenParams::new_unchecked(p, c), a);
-    let av = matmul(a, Trans::N, &v, Trans::N);
-    let mut vl = v.clone();
-    for (j, lambda) in ev.iter().enumerate() {
-        for i in 0..n {
-            vl.set(i, j, vl.get(i, j) * lambda);
-        }
-    }
-    let residual = av.max_diff(&vl) / (nf * scale);
-    let vtv = matmul(&v, Trans::T, &v, Trans::N);
-    let orthogonality = vtv.max_diff(&Matrix::identity(n));
+    let residual = residual_defect(a, &ev, &v);
+    let orthogonality = orthogonality_defect(&v);
 
     // Reference spectrum.
     let reference = match &entry.reference {

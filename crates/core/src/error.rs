@@ -10,7 +10,10 @@
 
 use std::fmt;
 
-/// Why an eigensolver request was rejected before any work ran.
+/// Why an eigensolver request failed: input validation (rejected
+/// before any work ran), a convergence failure, or — for jobs routed
+/// through the `ca-service` scheduler — an admission-control or
+/// deadline outcome.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum EigenError {
@@ -81,6 +84,29 @@ pub enum EigenError {
         /// The offending factor.
         k: usize,
     },
+    /// A service job missed its deadline: it spent longer in the
+    /// admission queue than its timeout allowed and was never started.
+    /// Deadlines bound *scheduling* delay — once a worker begins a
+    /// solve it runs to completion, so a returned result is never
+    /// discarded on wall-clock grounds (which would make outcomes
+    /// timing-dependent).
+    Deadline {
+        /// The job's timeout budget, in milliseconds.
+        timeout_ms: u64,
+        /// How long the job had actually waited when it was cancelled,
+        /// in milliseconds.
+        waited_ms: u64,
+    },
+    /// Admission control rejected the job: the service's bounded queue
+    /// was at capacity. Back off and resubmit, or raise
+    /// `CA_QUEUE_CAP`.
+    QueueFull {
+        /// The queue bound that was hit.
+        capacity: usize,
+    },
+    /// The job was submitted to a service that is shutting down (or
+    /// already shut down).
+    ServiceShutdown,
     /// The sequential tridiagonal eigensolver failed to converge —
     /// unreachable for finite symmetric input (the implicit-shift QL
     /// iteration is globally convergent), but non-finite data reaching
@@ -141,6 +167,16 @@ impl fmt::Display for EigenError {
                     "reduction factor must satisfy 1 ≤ k ≤ band-width (got k = {k}, b = {b})"
                 )
             }
+            Self::Deadline { timeout_ms, waited_ms } => {
+                write!(
+                    f,
+                    "job missed its deadline (timeout {timeout_ms} ms, waited {waited_ms} ms in queue)"
+                )
+            }
+            Self::QueueFull { capacity } => {
+                write!(f, "service queue is full (capacity {capacity}); resubmit later")
+            }
+            Self::ServiceShutdown => write!(f, "service is shut down"),
             Self::ConvergenceFailure { solver, index } => {
                 write!(
                     f,
@@ -178,6 +214,12 @@ mod tests {
                 EigenError::ConvergenceFailure { solver: "tridiag_eigen", index: 7 },
                 "did not converge",
             ),
+            (
+                EigenError::Deadline { timeout_ms: 5, waited_ms: 9 },
+                "timeout 5 ms, waited 9 ms",
+            ),
+            (EigenError::QueueFull { capacity: 4 }, "capacity 4"),
+            (EigenError::ServiceShutdown, "shut down"),
         ];
         for (e, needle) in cases {
             let msg = e.to_string();

@@ -22,7 +22,23 @@
 //! on first read, through the shared [`ca_obs::knobs`] parser (so a
 //! malformed value like `CA_DNC=fast` warns on stderr instead of being
 //! silently ignored).
+//!
+//! ## Snapshots and per-scope overrides
+//!
+//! The process-global setters above are a footgun for anything that
+//! runs more than one solve per process: a `set_dnc_enabled` flip (or a
+//! test toggling knobs) midway through a batch would split the batch's
+//! configuration — some jobs on one engine, some on the other — and the
+//! solver itself samples `dnc_enabled()` several times per solve, so a
+//! flip could even split *one solve* across engines. [`KnobSnapshot`]
+//! freezes the engine knobs at one instant and [`with_knobs`] pins them
+//! for a scope via a thread-local override that every knob read
+//! consults first. The multi-tenant service (`ca-service`) captures one
+//! snapshot at construction and wraps every job it runs in
+//! [`with_knobs`], so global knob churn cannot leak into an in-flight
+//! batch (pinned by `tests/serial_knob.rs`).
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
@@ -44,6 +60,73 @@ static DNC_LEAF: AtomicUsize = AtomicUsize::new(0);
 static DNC_ENABLED: AtomicBool = AtomicBool::new(true);
 static DNC_INIT: OnceLock<()> = OnceLock::new();
 
+thread_local! {
+    /// Active [`with_knobs`] override for this thread, if any. Engine
+    /// knob reads consult this before the process globals, so a scope
+    /// that pinned a snapshot is immune to concurrent `set_*` calls.
+    static KNOB_OVERRIDE: Cell<Option<KnobSnapshot>> = const { Cell::new(None) };
+}
+
+/// A frozen copy of every engine-selection knob, captured at one
+/// instant. Two uses:
+///
+/// * **reporting** — a service or bench harness records the exact
+///   configuration a run executed under;
+/// * **pinning** — [`with_knobs`] makes the snapshot the authoritative
+///   source for all knob reads in a scope, so process-global setters
+///   (or another tenant's configuration) cannot change an in-flight
+///   solve's engine choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KnobSnapshot {
+    /// Divide-and-conquer finale enabled (see [`dnc_enabled`]).
+    pub dnc_enabled: bool,
+    /// D&C → QL leaf crossover (see [`dnc_leaf`]).
+    pub dnc_leaf: usize,
+    /// Bandwidth-halving floor (see [`halve_floor`]).
+    pub halve_floor: usize,
+    /// The shared `CA_SERIAL` knob at capture time. Informational: the
+    /// env value is cached process-wide on first read and cannot change
+    /// afterwards, so this field records (rather than controls) whether
+    /// the process dispatches serially. [`with_knobs`] does *not*
+    /// override serial dispatch — serial and parallel runs are
+    /// bit-identical by invariant, and letting a thread-local flip it
+    /// would reintroduce the split-subsystem bug the unified parser
+    /// fixed.
+    pub serial: bool,
+}
+
+impl KnobSnapshot {
+    /// Capture the knobs as currently visible to this thread (an active
+    /// [`with_knobs`] override wins over the process globals, so nested
+    /// captures are consistent).
+    pub fn capture() -> Self {
+        Self {
+            dnc_enabled: dnc_enabled(),
+            dnc_leaf: dnc_leaf(),
+            halve_floor: halve_floor(),
+            serial: serial(),
+        }
+    }
+}
+
+/// Run `f` with every engine knob read on this thread pinned to `snap`,
+/// restoring the previous override (if any) afterwards — nestable and
+/// panic-safe. Parallel regions inside `f` are unaffected where they
+/// read knobs from other threads, which is safe today because every
+/// engine-selection read (`dnc_enabled`, `dnc_leaf`, `halve_floor`)
+/// happens on the thread that entered the solver; spawned workers only
+/// consult the process-cached `CA_SERIAL`.
+pub fn with_knobs<R>(snap: KnobSnapshot, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<KnobSnapshot>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            KNOB_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _guard = Restore(KNOB_OVERRIDE.with(|c| c.replace(Some(snap))));
+    f()
+}
+
 fn init() {
     DNC_INIT.get_or_init(|| {
         let floor = ca_obs::knobs::usize_env("CA_HALVE_FLOOR").unwrap_or(DEFAULT_HALVE_FLOOR);
@@ -59,6 +142,9 @@ fn init() {
 /// Bandwidth at which halving sweeps stop and the fused rank-1 sweep
 /// finishes the reduction (env `CA_HALVE_FLOOR`).
 pub fn halve_floor() -> usize {
+    if let Some(k) = KNOB_OVERRIDE.with(Cell::get) {
+        return k.halve_floor;
+    }
     init();
     HALVE_FLOOR.load(Ordering::Relaxed)
 }
@@ -72,6 +158,9 @@ pub fn set_halve_floor(floor: usize) {
 /// Subproblem size below which divide-and-conquer falls back to QL
 /// (env `CA_DNC_LEAF`).
 pub fn dnc_leaf() -> usize {
+    if let Some(k) = KNOB_OVERRIDE.with(Cell::get) {
+        return k.dnc_leaf;
+    }
     init();
     DNC_LEAF.load(Ordering::Relaxed)
 }
@@ -86,6 +175,9 @@ pub fn set_dnc_leaf(leaf: usize) {
 /// sweep schedule) is enabled (env `CA_DNC`, default on). Off restores
 /// the legacy halve-to-8 + generic-chase + QL finale byte for byte.
 pub fn dnc_enabled() -> bool {
+    if let Some(k) = KNOB_OVERRIDE.with(Cell::get) {
+        return k.dnc_enabled;
+    }
     init();
     DNC_ENABLED.load(Ordering::Relaxed)
 }
@@ -128,5 +220,41 @@ mod tests {
         set_dnc_enabled(!on);
         assert_eq!(dnc_enabled(), !on);
         set_dnc_enabled(on);
+    }
+
+    #[test]
+    fn snapshot_override_pins_reads_and_restores() {
+        let base = KnobSnapshot::capture();
+        let pinned = KnobSnapshot {
+            dnc_enabled: !base.dnc_enabled,
+            dnc_leaf: base.dnc_leaf + 11,
+            halve_floor: base.halve_floor + 7,
+            serial: base.serial,
+        };
+        with_knobs(pinned, || {
+            assert_eq!(dnc_enabled(), pinned.dnc_enabled);
+            assert_eq!(dnc_leaf(), pinned.dnc_leaf);
+            assert_eq!(halve_floor(), pinned.halve_floor);
+            // Capture inside the scope sees the override.
+            assert_eq!(KnobSnapshot::capture(), pinned);
+            // Nested override wins, then restores the outer one.
+            let inner = KnobSnapshot { dnc_leaf: 3, ..pinned };
+            with_knobs(inner, || assert_eq!(dnc_leaf(), 3));
+            assert_eq!(dnc_leaf(), pinned.dnc_leaf);
+        });
+        assert_eq!(KnobSnapshot::capture(), base);
+    }
+
+    #[test]
+    fn global_setters_cannot_leak_into_a_pinned_scope() {
+        let base = KnobSnapshot::capture();
+        with_knobs(base, || {
+            // A concurrent tenant (here: this thread, for determinism)
+            // flips the process-global knob mid-scope; the pinned scope
+            // must keep seeing its snapshot.
+            set_dnc_enabled(!base.dnc_enabled);
+            assert_eq!(dnc_enabled(), base.dnc_enabled);
+            set_dnc_enabled(base.dnc_enabled);
+        });
     }
 }

@@ -9,13 +9,19 @@
 //! bulge-chase pipeline needs, since it runs `O(n²/bh)` ops each wanting
 //! half a dozen scratch panels.
 //!
-//! One arena lives in thread-local storage ([`with_ws`]); every real
-//! thread — including each thread `ca-pla`'s superstep executor spawns —
-//! therefore owns exactly one arena, and no synchronization is ever
-//! needed. Entry points acquire the arena once via [`with_ws`] and pass
-//! `&mut Workspace` down the call tree; nested `with_ws` from inside such
-//! a scope would panic on the `RefCell`, which is exactly the discipline
-//! check we want.
+//! Arenas live in a thread-local *checkout stack* ([`with_ws`]); every
+//! real thread — including each thread `ca-pla`'s superstep executor
+//! spawns, and each worker thread of the `ca-service` job scheduler —
+//! owns its own stack, so no synchronization is ever needed. Entry
+//! points acquire an arena via [`with_ws`] and pass `&mut Workspace`
+//! down the call tree. The checkout is **re-entrant**: a nested
+//! [`with_ws`] (an entry point reached from inside another entry
+//! point's scope — e.g. a coalesced batch solve running whole solver
+//! invocations on one long-lived service worker thread) checks out its
+//! own arena from the stack instead of panicking on a `RefCell` borrow
+//! as the pre-service implementation did. Arenas return to the stack
+//! LIFO, so repeated workloads at any nesting depth reuse the same warm
+//! arenas and steady-state execution stays allocation-free.
 //!
 //! Determinism: buffer reuse never changes numerics — [`Workspace::take`]
 //! zero-fills, so a kernel sees bitwise the same initial state as with a
@@ -105,21 +111,46 @@ impl Workspace {
 }
 
 thread_local! {
-    static THREAD_WS: RefCell<Workspace> = RefCell::new(Workspace::new());
+    /// Parked arenas available for checkout on this thread (LIFO).
+    /// Depth > 1 only materializes under nested [`with_ws`] scopes; the
+    /// common case is a single arena parked between entry points.
+    static THREAD_WS: RefCell<Vec<Workspace>> = const { RefCell::new(Vec::new()) };
 }
 
-/// Run `f` with exclusive access to this thread's arena.
+/// Run `f` with exclusive access to an arena checked out from this
+/// thread's stack.
 ///
-/// Only *entry points* may call this; helpers below them must thread the
-/// `&mut Workspace` through instead (a nested `with_ws` panics on the
-/// `RefCell` borrow, deliberately).
+/// Entry points call this; helpers below them must thread the
+/// `&mut Workspace` through instead (each nested `with_ws` checks out a
+/// *separate* arena, so scratch buffers pooled by the outer scope are
+/// invisible to the inner one — correct, but it forfeits the warm-pool
+/// reuse that makes steady state allocation-free within one scope).
+/// The checkout is re-entrant and panic-safe: if `f` unwinds, the
+/// arena is dropped rather than returned, and the next checkout simply
+/// starts cold.
 pub fn with_ws<R>(f: impl FnOnce(&mut Workspace) -> R) -> R {
-    THREAD_WS.with(|cell| f(&mut cell.borrow_mut()))
+    let mut ws = THREAD_WS
+        .with(|cell| cell.borrow_mut().pop())
+        .unwrap_or_default();
+    let r = f(&mut ws);
+    THREAD_WS.with(|cell| cell.borrow_mut().push(ws));
+    r
 }
 
-/// Counters of this thread's arena (for tests and diagnostics).
+/// Summed counters over every arena currently parked on this thread's
+/// stack (for tests and diagnostics). Arenas inside an active
+/// [`with_ws`] scope are counted once they return to the stack.
 pub fn thread_ws_stats() -> WorkspaceStats {
-    THREAD_WS.with(|cell| cell.borrow().stats())
+    THREAD_WS.with(|cell| {
+        let mut agg = WorkspaceStats::default();
+        for ws in cell.borrow().iter() {
+            let s = ws.stats();
+            agg.checkouts += s.checkouts;
+            agg.grows += s.grows;
+            agg.pooled += s.pooled;
+        }
+        agg
+    })
 }
 
 #[cfg(test)]
@@ -177,5 +208,52 @@ mod tests {
             ws.put(b);
         });
         assert_eq!(thread_ws_stats().checkouts, before + 1);
+    }
+
+    #[test]
+    fn nested_checkout_is_reentrant_and_isolated() {
+        with_ws(|outer| {
+            let a = outer.take(32);
+            // A nested entry point (e.g. a whole solver invocation
+            // running inside a service batch scope) must get its own
+            // arena, not panic and not see the outer pool.
+            let inner_pooled = with_ws(|inner| {
+                let b = inner.take(16);
+                assert!(b.iter().all(|&v| v == 0.0));
+                inner.put(b);
+                inner.stats().pooled
+            });
+            assert_eq!(inner_pooled, 1);
+            outer.put(a);
+        });
+        // Both arenas parked again; a fresh checkout reuses the warm
+        // one pushed last (the outer arena) without growing.
+        with_ws(|ws| {
+            let grows = ws.stats().grows;
+            let buf = ws.take(32);
+            assert_eq!(ws.stats().grows, grows, "warm arena must not grow for 32");
+            ws.put(buf);
+        });
+    }
+
+    #[test]
+    fn steady_state_across_scopes_reuses_one_arena() {
+        // Repeated non-nested scopes (the service worker-loop shape)
+        // keep hitting the same warm arena: grows stay constant after
+        // the first pass.
+        for _ in 0..3 {
+            with_ws(|ws| {
+                let b = ws.take(64);
+                ws.put(b);
+            });
+        }
+        let grows = thread_ws_stats().grows;
+        for _ in 0..10 {
+            with_ws(|ws| {
+                let b = ws.take(64);
+                ws.put(b);
+            });
+        }
+        assert_eq!(thread_ws_stats().grows, grows);
     }
 }

@@ -11,9 +11,14 @@
 //! Registered counters in this build: `workspace.checkouts`,
 //! `workspace.grows`, `workspace.high_water_words` (arena metering),
 //! `bulge.chase_windows` (chase kernel invocations), `dnc.secular_roots`
-//! / `dnc.secular_iters` (secular-equation work), and
-//! `alloc.count` / `alloc.bytes` when a binary installs
-//! [`crate::alloc::CountingAllocator`].
+//! / `dnc.secular_iters` (secular-equation work),
+//! `service.submitted` / `service.completed` / `service.failed` /
+//! `service.queue_rejected` / `service.deadline_missed` /
+//! `service.batches` / `service.batched_jobs` /
+//! `service.queue_depth_peak` / `service.queue_wait_us` /
+//! `service.solve_us` (batch-service scheduling, mirrored from
+//! `ca_service::ServiceStats`), and `alloc.count` / `alloc.bytes` when
+//! a binary installs [`crate::alloc::CountingAllocator`].
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};

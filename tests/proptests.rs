@@ -199,3 +199,87 @@ proptest! {
         }
     }
 }
+
+/// Strategy: one random service-batch composition. Each job spec is
+/// `((n, engine_idx), (want_vectors, seed))` — nested pairs because the
+/// proptest shim implements `Strategy` for 2- and 3-tuples only.
+fn batch_strategy() -> impl Strategy<Value = Vec<((usize, usize), (usize, u64))>> {
+    proptest::collection::vec(((4usize..=40, 0usize..3), (0usize..2, 0u64..100_000)), 3..=8)
+}
+
+proptest! {
+    // Each case spins up a service and solves a whole batch; fewer cases
+    // than the kernel-level properties above keep the suite CI-fast.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random batch compositions (mixed sizes, engines, values/vectors)
+    /// served concurrently must preserve the conformance gallery's
+    /// per-job numerical oracles: the construction spectrum, the
+    /// eigenpair residual, and basis orthogonality — all at the
+    /// gallery's own calibrated tolerance (`5e-9·n`) and using the
+    /// gallery's own defect functions, not a reimplementation.
+    #[test]
+    fn service_batches_preserve_conformance_oracles(specs in batch_strategy()) {
+        use ca_service::{EigenService, Engine, ServiceConfig, SymmEigenJob};
+        use ca_symm_eig::dla::gen;
+        use conformance::oracle::{orthogonality_defect, residual_defect};
+        use rand::{rngs::StdRng, SeedableRng};
+
+        let service = EigenService::new(ServiceConfig {
+            workers: 3,
+            // A mid-range floor so some jobs coalesce into batched leaf
+            // solves while others run singly — both scheduler paths.
+            batch_floor: 24,
+            ..ServiceConfig::default()
+        });
+
+        let jobs: Vec<(Vec<f64>, Matrix, SymmEigenJob)> = specs
+            .iter()
+            .map(|&((n, engine), (vectors, seed))| {
+                let mut rng = StdRng::seed_from_u64(0xBA7C4 ^ seed);
+                let spectrum = gen::linspace_spectrum(n, -2.0, 2.0);
+                let a = gen::symmetric_with_spectrum(&mut rng, &spectrum);
+                let job = if vectors == 1 {
+                    SymmEigenJob::with_vectors(a.clone(), 4, 1)
+                } else {
+                    SymmEigenJob::values(a.clone(), 4, 1)
+                };
+                let job = job.engine(match engine {
+                    0 => Engine::Auto,
+                    1 => Engine::Ql,
+                    _ => Engine::Dnc,
+                });
+                (spectrum, a, job)
+            })
+            .collect();
+
+        let results = service.solve_batch(jobs.iter().map(|(_, _, j)| j.clone()));
+        prop_assert_eq!(results.len(), jobs.len());
+        for ((spectrum, a, job), res) in jobs.iter().zip(results) {
+            let r = res.expect("service must complete every admitted job");
+            let n = a.rows();
+            let tol = 5e-9 * n as f64; // the gallery's calibrated tolerance
+            let scale = a.norm_max().max(1.0);
+
+            // Oracle #3: eigenvalues against the construction spectrum.
+            prop_assert_eq!(r.eigenvalues.len(), n);
+            for (got, want) in r.eigenvalues.iter().zip(spectrum) {
+                prop_assert!(
+                    (got - want).abs() / scale < tol,
+                    "n={n} eigenvalue {got} vs construction {want}"
+                );
+            }
+
+            // Oracles #1 and #2 when eigenvectors were requested.
+            if job.want_vectors {
+                let v = r.vectors.as_ref().expect("vectors were requested");
+                let res_defect = residual_defect(a, &r.eigenvalues, v);
+                let orth_defect = orthogonality_defect(v);
+                prop_assert!(res_defect < tol, "n={n} residual {res_defect:e}");
+                prop_assert!(orth_defect < tol, "n={n} orthogonality {orth_defect:e}");
+            } else {
+                prop_assert!(r.vectors.is_none());
+            }
+        }
+    }
+}

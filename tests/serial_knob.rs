@@ -16,7 +16,11 @@
 //! * falsy and unset leave both parallel;
 //! * malformed values (`CA_SERIAL=banana`, `CA_DNC=fast`,
 //!   `CA_TRACE=fast`) warn once on stderr naming the knob, instead of
-//!   being silently ignored.
+//!   being silently ignored;
+//! * the service pins a knob snapshot at construction: a global
+//!   `set_dnc_enabled` flip while jobs sit queued changes neither the
+//!   engine they run under nor a single output bit (the per-solve
+//!   knob-read footgun, regression-tested in its own subprocess).
 
 use ca_symm_eig::bsp::{Machine, MachineParams};
 use ca_symm_eig::dla::gen;
@@ -111,6 +115,109 @@ fn probe(env: &[(&str, &str)]) -> Probe {
         serial_dnc: field("SERIAL_DNC") == "true",
         stderr,
     }
+}
+
+/// Subprocess payload for [`service_snapshot_survives_global_knob_flip`]:
+/// in a clean process, a service's construction-time [`KnobSnapshot`]
+/// must govern every queued job even after the process-global knob is
+/// flipped out from under it. Before PR 9 each solve re-read `CA_DNC`
+/// at dispatch time, so a flip mid-queue could split one batch across
+/// two engine configurations.
+///
+/// [`KnobSnapshot`]: ca_symm_eig::dla::tune::KnobSnapshot
+#[test]
+#[ignore = "subprocess payload for the knob-snapshot driver test"]
+fn inner_service_snapshot_pins_knobs() {
+    use ca_service::{EigenService, ServiceConfig, SymmEigenJob};
+    use ca_symm_eig::dla::tune;
+
+    let service = EigenService::new(ServiceConfig {
+        workers: 2,
+        paused: true, // hold the queue so the flip lands before dispatch
+        ..ServiceConfig::default()
+    });
+    let knobs = service.knobs();
+
+    let jobs: Vec<SymmEigenJob> = (0..6)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(SEED + i);
+            let a = gen::symmetric_with_spectrum(&mut rng, &gen::linspace_spectrum(N, -2.0, 2.0));
+            if i % 2 == 0 {
+                SymmEigenJob::with_vectors(a, P, 1)
+            } else {
+                SymmEigenJob::values(a, P, 1)
+            }
+        })
+        .collect();
+
+    let result_hash = |r: &ca_service::JobResult| {
+        let mut bits = r.eigenvalues.clone();
+        if let Some(v) = &r.vectors {
+            bits.extend_from_slice(v.data());
+        }
+        bit_hash(&bits)
+    };
+
+    // Solo references under the pinned snapshot, before any flip.
+    let solo: Vec<u64> = jobs
+        .iter()
+        .map(|j| result_hash(&ca_service::solve_job(j, knobs).expect("solo reference")))
+        .collect();
+
+    let tickets: Vec<_> = jobs
+        .iter()
+        .map(|j| service.submit(j.clone()).expect("admit"))
+        .collect();
+
+    // The footgun this pins: a global engine flip while jobs sit queued.
+    tune::set_dnc_enabled(!knobs.dnc_enabled);
+    assert_ne!(
+        tune::dnc_enabled(),
+        knobs.dnc_enabled,
+        "the global flip must be visible outside the service"
+    );
+    service.resume();
+
+    for (t, want) in tickets.into_iter().zip(&solo) {
+        let r = t.wait().expect("queued job");
+        assert_eq!(
+            r.knobs.dnc_enabled, knobs.dnc_enabled,
+            "job ran under the flipped global, not the service snapshot"
+        );
+        assert_eq!(
+            result_hash(&r),
+            *want,
+            "global knob flip changed a queued job's output bits"
+        );
+    }
+    println!("KNOB_PIN_OK=1");
+}
+
+#[test]
+fn service_snapshot_survives_global_knob_flip() {
+    // The payload mutates process-global knob state, so it runs in its
+    // own subprocess like the CA_SERIAL probes above.
+    let exe = std::env::current_exe().expect("test binary path");
+    let out = Command::new(exe)
+        .args([
+            "--ignored",
+            "--exact",
+            "inner_service_snapshot_pins_knobs",
+            "--nocapture",
+        ])
+        .env_remove("CA_DNC")
+        .output()
+        .expect("spawn test subprocess");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "knob-snapshot payload failed:\n{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout.contains("KNOB_PIN_OK=1"),
+        "payload did not reach its end marker:\n{stdout}"
+    );
 }
 
 #[test]
