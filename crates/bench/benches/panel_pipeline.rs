@@ -1,0 +1,44 @@
+//! PR-10 micro-benchmark: barriered vs lookahead panel factorization.
+//!
+//! Pits the two `full_to_band` drivers against each other at fixed
+//! panel widths b ∈ {32, 64}: the `barrier` leg materializes every
+//! superstep (`CA_LOOKAHEAD=off`, the seed path), the `lookahead` leg
+//! runs the task-graph executor with zero-copy task bodies and its
+//! engine kernels. Both legs compute bit-identical bands and charge the
+//! identical F/W/Q/S ledger (`tests/dag_equivalence.rs`); only the
+//! wall-clock per panel pipeline differs.
+
+use ca_bsp::{Machine, MachineParams};
+use ca_dla::gen;
+use ca_eigen::full_to_band::full_to_band;
+use ca_eigen::params::EigenParams;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_panel_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("panel_pipeline");
+    let (n, p) = (256usize, 4usize);
+    for b in [32usize, 64] {
+        let mut rng = StdRng::seed_from_u64(10 + b as u64);
+        let a = gen::symmetric_with_spectrum(&mut rng, &gen::linspace_spectrum(n, -1.0, 1.0));
+        let machine = Machine::new(MachineParams::new(p));
+        let params = EigenParams::new(p, 1);
+        for (leg, enabled) in [("barrier", false), ("lookahead", true)] {
+            group.bench_with_input(
+                BenchmarkId::new(leg, format!("n{n}_b{b}")),
+                &b,
+                |bench, &b| {
+                    ca_obs::knobs::set_lookahead_enabled(enabled);
+                    bench.iter(|| black_box(full_to_band(&machine, &params, &a, b)));
+                },
+            );
+        }
+    }
+    ca_obs::knobs::reset_lookahead();
+    group.finish();
+}
+
+criterion_group!(benches, bench_panel_pipeline);
+criterion_main!(benches);

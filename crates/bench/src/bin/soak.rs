@@ -32,6 +32,10 @@
 //! `CA_BATCH_FLOOR`) apply as usual via [`EigenService::from_env`]
 //! semantics — the soak constructs its config through
 //! `ServiceConfig::from_env()` so CI lanes can vary the pool shape.
+//! With `CA_SERVICE_WORKERS` unset the pool is floored at **two**
+//! workers: the available-parallelism default degenerates to one on
+//! single-core hosts, and a one-worker soak never exercises the
+//! concurrent claim paths the benchmark exists to cover.
 
 use ca_service::{Engine, EigenService, JobResult, ServiceConfig, SymmEigenJob};
 use ca_dla::gen;
@@ -127,7 +131,16 @@ fn main() {
             .unwrap_or_else(|| panic!("no \"speedup\" entry in {ref_path}"))
     });
 
-    let config = ServiceConfig::from_env();
+    let mut config = ServiceConfig::from_env();
+    // The soak exists to exercise the concurrent pool, but the
+    // available-parallelism default degenerates to a single worker on
+    // small hosts — BENCH_PR9.json recorded `workers: 1`, so the
+    // committed artifact never ran two workers' claim paths at once.
+    // Keep the pool multi-worker by default; an explicit
+    // CA_SERVICE_WORKERS still pins any size (including 1).
+    if ca_obs::knobs::usize_env("CA_SERVICE_WORKERS").is_none() {
+        config.workers = config.workers.max(2);
+    }
     let service = Arc::new(EigenService::new(config.clone()));
     let workers = service.config().effective_workers();
     println!(

@@ -2,7 +2,7 @@
 //! flop-rate of the end-to-end solver, *before* vs *after* one of the
 //! repo's engine toggles.
 //!
-//! Two engine comparisons are available, each from one build with the
+//! Three engine comparisons are available, each from one build with the
 //! "before" arithmetic kept alive behind a runtime toggle:
 //!
 //! * `--engine zero-copy` (PR-6, default output `BENCH_PR6.json`):
@@ -13,15 +13,29 @@
 //!   fused rank-1 sweep + divide-and-conquer finale
 //!   (`ca_dla::tune::set_dnc_enabled`), zero-copy on in both legs. The
 //!   run also reports the tuning knobs in effect
-//!   ([`ca_dla::tune::halve_floor`], [`ca_dla::tune::dnc_leaf`]).
+//!   ([`ca_dla::tune::halve_floor`], [`ca_dla::tune::dnc_leaf`]);
+//! * `--engine lookahead` (PR-10, default output `BENCH_PR10.json`):
+//!   the barrier reduction drivers vs the task-graph (DAG) drivers and
+//!   their engine kernels (`ca_obs::knobs::set_lookahead_enabled` —
+//!   DESIGN.md §6g), zero-copy and D&C on in both legs. Both legs are
+//!   bit-identical in output and ledger (`tests/dag_equivalence.rs`);
+//!   only wall-clock may differ.
+//!
+//! The legacy engines run with the lookahead knob pinned **off** (the
+//! state their committed references were recorded under) so their
+//! before/after ratios keep measuring only their own toggle;
+//! `--lookahead on` re-pins it for an ad-hoc combined run.
 //!
 //! Stage wall-clock comes from [`StageCosts::wall_secs`]; model flops
 //! from the metered ledger.
 //!
 //! Flags:
 //!
-//! * `--engine <zero-copy|dnc>` — which toggle to compare (default
-//!   `zero-copy`);
+//! * `--engine <zero-copy|dnc|lookahead>` — which toggle to compare
+//!   (default `zero-copy`);
+//! * `--lookahead <on|off>` — pin the `CA_LOOKAHEAD` knob during the
+//!   legacy engines' legs (default `off`; ignored under
+//!   `--engine lookahead`, where the knob is the compared variable);
 //! * `--quick` — n ∈ {256} only (CI-sized; the full grid adds 512);
 //! * `--out <path>` — output path (default per engine, above);
 //! * `--check <ref.json>` — compare per-stage and end-to-end speedups
@@ -70,19 +84,35 @@ enum Engine {
     ZeroCopy,
     /// QL finale vs fused-sweep + divide-and-conquer finale.
     Dnc,
+    /// Barrier reduction drivers vs task-graph drivers + engine kernels.
+    Lookahead,
 }
 
-/// Configure the process-wide toggles for one leg. The D&C comparison
-/// keeps zero-copy on in both legs so it measures only the finale.
+/// `--lookahead on|off` pin applied to the *legacy* engines (for
+/// `--engine lookahead` the knob is the compared variable). Defaults to
+/// off — the state BENCH_PR6/BENCH_PR7 were recorded under.
+static LOOKAHEAD_PIN: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Configure the process-wide toggles for one leg. Each comparison
+/// holds the other engines fixed so it measures only its own toggle:
+/// D&C keeps zero-copy on, lookahead keeps zero-copy and D&C on.
 fn select_engine(engine: Engine, after: bool) {
+    use std::sync::atomic::Ordering::Relaxed;
     match engine {
         Engine::ZeroCopy => {
             set_zero_copy_enabled(after);
             tune::set_dnc_enabled(false);
+            ca_obs::knobs::set_lookahead_enabled(LOOKAHEAD_PIN.load(Relaxed));
         }
         Engine::Dnc => {
             set_zero_copy_enabled(true);
             tune::set_dnc_enabled(after);
+            ca_obs::knobs::set_lookahead_enabled(LOOKAHEAD_PIN.load(Relaxed));
+        }
+        Engine::Lookahead => {
+            set_zero_copy_enabled(true);
+            tune::set_dnc_enabled(true);
+            ca_obs::knobs::set_lookahead_enabled(after);
         }
     }
 }
@@ -245,11 +275,18 @@ fn main() {
     let engine = match flag_value(&args, "--engine") {
         None | Some("zero-copy") => Engine::ZeroCopy,
         Some("dnc") => Engine::Dnc,
-        Some(other) => panic!("unknown --engine {other:?} (expected zero-copy or dnc)"),
+        Some("lookahead") => Engine::Lookahead,
+        Some(other) => panic!("unknown --engine {other:?} (expected zero-copy, dnc or lookahead)"),
     };
+    match flag_value(&args, "--lookahead") {
+        None | Some("off") => {}
+        Some("on") => LOOKAHEAD_PIN.store(true, std::sync::atomic::Ordering::Relaxed),
+        Some(other) => panic!("unknown --lookahead {other:?} (expected on or off)"),
+    }
     let default_out = match engine {
         Engine::ZeroCopy => "BENCH_PR6.json",
         Engine::Dnc => "BENCH_PR7.json",
+        Engine::Lookahead => "BENCH_PR10.json",
     };
     let out_path = flag_value(&args, "--out").unwrap_or(default_out);
     let check = flag_value(&args, "--check");
@@ -281,6 +318,7 @@ fn main() {
             tune::halve_floor(),
             tune::dnc_leaf()
         ),
+        Engine::Lookahead => String::from("{\n  \"engine\": \"lookahead\",\n  \"cases\": [\n"),
     };
     let mut measured: Vec<(usize, String, f64)> = Vec::new();
     for (ci, &n) in sizes.iter().enumerate() {
@@ -290,6 +328,7 @@ fn main() {
         let legs = match engine {
             Engine::ZeroCopy => ("reference", "zero-copy"),
             Engine::Dnc => ("QL finale", "D&C finale"),
+            Engine::Lookahead => ("barrier", "lookahead DAG"),
         };
         println!(
             "solver n={n} p={p}: {} {:.1} ms -> {} {:.1} ms, {speedup:.2}x",

@@ -319,6 +319,40 @@ fn micro_kernel(kb: usize, pa: &[f64], pb: &[f64], acc: &mut [[f64; NR]; MR]) {
     }
 }
 
+/// [`micro_kernel`] compiled with 256-bit vectors (AVX2). The
+/// arithmetic is the same statement sequence — separate multiply and
+/// add (Rust never contracts to FMA), and each vector lane is a
+/// *distinct* element of `C`, so every `C` element sees the identical
+/// rounding sequence as the portable kernel: results are bitwise
+/// equal. Selected at runtime by [`simd_kernel_enabled`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn micro_kernel_avx2(kb: usize, pa: &[f64], pb: &[f64], acc: &mut [[f64; NR]; MR]) {
+    for (avec, bvec) in pa.chunks_exact(MR).zip(pb.chunks_exact(NR)).take(kb) {
+        let avec: &[f64; MR] = avec.try_into().unwrap();
+        let bvec: &[f64; NR] = bvec.try_into().unwrap();
+        for r in 0..MR {
+            let ar = avec[r];
+            for cc in 0..NR {
+                acc[r][cc] += ar * bvec[cc];
+            }
+        }
+    }
+}
+
+/// True when the lookahead engine is on and the host supports the wide
+/// micro-kernel. Part of the `CA_LOOKAHEAD` engine (like the zero-copy
+/// carma/streaming internals): the barrier leg keeps the portable
+/// kernel so engine-off timings stay representative of the seed path,
+/// while the engine-on leg runs the bitwise-identical AVX2 tile.
+#[cfg(target_arch = "x86_64")]
+fn simd_kernel_enabled() -> bool {
+    use std::sync::OnceLock;
+    static AVX2: OnceLock<bool> = OnceLock::new();
+    ca_obs::knobs::lookahead() && *AVX2.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+}
+
+
 /// The three-level blocked path (`C` pre-scaled by β). Works on strided
 /// `C`: row indexing uses the view stride, and each `MC`-row slab still
 /// covers disjoint output rows (`cols ≤ stride`, so slab boundaries at
@@ -336,6 +370,8 @@ fn gemm_blocked(alpha: f64, a: &MatrixView, ta: Trans, b: &MatrixView, tb: Trans
     let kc = KC.min(k);
     let nb_max = NC.min(n).div_ceil(NR) * NR;
     let mut bpack = vec![0.0f64; kc * nb_max];
+    #[cfg(target_arch = "x86_64")]
+    let wide = simd_kernel_enabled();
 
     for jc in (0..n).step_by(NC) {
         let nb = NC.min(n - jc);
@@ -360,6 +396,14 @@ fn gemm_blocked(alpha: f64, a: &MatrixView, ta: Trans, b: &MatrixView, tb: Trans
                         let nr_eff = NR.min(nb - t * NR);
                         let pb = &bpack[t * kb * NR..(t + 1) * kb * NR];
                         let mut acc = [[0.0f64; NR]; MR];
+                        #[cfg(target_arch = "x86_64")]
+                        if wide {
+                            // SAFETY: `wide` implies AVX2 was detected.
+                            unsafe { micro_kernel_avx2(kb, pa, pb, &mut acc) };
+                        } else {
+                            micro_kernel(kb, pa, pb, &mut acc);
+                        }
+                        #[cfg(not(target_arch = "x86_64"))]
                         micro_kernel(kb, pa, pb, &mut acc);
                         let col0 = jc + t * NR;
                         for r in 0..mr_eff {

@@ -201,6 +201,35 @@ impl<'a> MatrixViewMut<'a> {
         let start = if nr == 0 || nc == 0 { 0 } else { r0 * self.stride + c0 };
         MatrixViewMut::new(&mut self.data[start..], nr, nc, self.stride)
     }
+
+    /// Set every entry to `v` (row-wise `fill`).
+    pub fn fill(&mut self, v: f64) {
+        for i in 0..self.rows {
+            self.row_mut(i).fill(v);
+        }
+    }
+
+    /// Overwrite this view with `other`'s entries (same shape) — the
+    /// view analogue of [`Matrix::set_block`].
+    pub fn copy_from(&mut self, other: &MatrixView) {
+        assert_eq!((self.rows, self.cols), (other.rows(), other.cols()), "copy_from shape mismatch");
+        for i in 0..self.rows {
+            self.row_mut(i).copy_from_slice(other.row(i));
+        }
+    }
+
+    /// `self += alpha·other` (same shape) — per-entry `d += alpha * s`,
+    /// exactly the arithmetic of [`Matrix::axpy`]/[`Matrix::add_block`],
+    /// so an accumulation routed through views is bitwise the one routed
+    /// through extracted copies.
+    pub fn add_scaled(&mut self, alpha: f64, other: &MatrixView) {
+        assert_eq!((self.rows, self.cols), (other.rows(), other.cols()), "add_scaled shape mismatch");
+        for i in 0..self.rows {
+            for (d, s) in self.row_mut(i).iter_mut().zip(other.row(i)) {
+                *d += alpha * s;
+            }
+        }
+    }
 }
 
 impl Matrix {

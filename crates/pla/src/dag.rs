@@ -1,0 +1,392 @@
+//! Dependency-driven task-graph executor with superstep lookahead.
+//!
+//! The BSP executor ([`crate::exec`]) joins every worker at every
+//! superstep: panel QR serializes against trailing updates even when
+//! their operands are disjoint. This module removes that barrier. A
+//! driver expresses one reduction as a [`TaskGraph`] — panel-QR,
+//! trailing-update, aggregate and chase-window nodes with explicit data
+//! dependencies — and the executor runs any task whose dependencies
+//! have completed, regardless of which superstep the barrier path would
+//! have assigned it to (depth-1 panel lookahead falls out naturally:
+//! panel `k+1`'s first tasks become ready while panel `k`'s trailing
+//! updates are still in flight).
+//!
+//! ## Deterministic charging (the ledger stays bit-identical)
+//!
+//! Task bodies do not touch the live F/W/Q/S ledger. Each body runs
+//! under [`Machine::capture`], which redirects every `charge_*`,
+//! `alloc`/`free` and `step` into a per-task [`ChargeLog`]. After all
+//! tasks have completed, a *replay pass* applies the logs in task
+//! **insertion order**, executing [`Machine::fence`] wherever the
+//! driver placed a fence marker ([`TaskGraph::add_fence`]). Drivers
+//! insert tasks in the barrier path's program order, so the replayed
+//! event stream — and therefore the folded per-phase maxima, superstep
+//! counts and peak-memory high-water marks — is bitwise the stream the
+//! barrier path produces, no matter how execution interleaved.
+//!
+//! Because capture is thread-local, each body is additionally wrapped
+//! in [`exec::with_forced_serial`]: nested `par_ranks`/`join` dispatch
+//! stays on the body's worker thread, so no charge escapes its log.
+//! Parallelism comes from running independent *tasks* concurrently,
+//! not from splitting one task's interior.
+//!
+//! ## Scheduling
+//!
+//! With one worker (single hardware thread, `CA_SERIAL`, or a
+//! single-task graph) bodies run inline in insertion order — zero
+//! scheduling overhead, and trivially the same order the barrier path
+//! executes. With more workers, a scoped thread pool (the same
+//! `std::thread::scope` machinery the rayon shim uses) pulls tasks
+//! from a ready queue guarded by a mutex/condvar pair; completion of a
+//! task decrements its dependents' in-degrees and enqueues any that
+//! reach zero.
+//!
+//! Observability: every body runs inside a `dag.task` kernel span, and
+//! the `dag.ready_queue_depth` counter records the high-water mark of
+//! the ready queue — the visible measure of how much work lookahead
+//! exposes beyond the barrier path's one-phase window.
+
+use crate::exec;
+use ca_bsp::{ChargeLog, Machine};
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Identifier of a task within one [`TaskGraph`] (its insertion index).
+pub type TaskId = usize;
+
+static READY_DEPTH: ca_obs::Counter = ca_obs::Counter::new("dag.ready_queue_depth");
+static TASKS_RUN: ca_obs::Counter = ca_obs::Counter::new("dag.tasks_run");
+
+/// A write-once slot passing data between tasks of a [`TaskGraph`].
+///
+/// The producer task calls [`TaskCell::set`]; consumer tasks declare a
+/// dependency on the producer and read with [`TaskCell::with_ref`] or
+/// [`TaskCell::take`]. The executor's queue synchronization provides
+/// the happens-before edge; the mutex makes the handoff sound.
+pub struct TaskCell<T>(Mutex<Option<T>>);
+
+impl<T> TaskCell<T> {
+    /// An empty cell.
+    pub fn new() -> Self {
+        TaskCell(Mutex::new(None))
+    }
+
+    /// Store the produced value (a task runs at most once, so a double
+    /// set indicates a mis-built graph).
+    pub fn set(&self, v: T) {
+        let mut slot = self.0.lock().unwrap_or_else(|e| e.into_inner());
+        assert!(slot.is_none(), "TaskCell set twice");
+        *slot = Some(v);
+    }
+
+    /// Take the value out (panics if the producer has not run).
+    pub fn take(&self) -> T {
+        self.0
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("TaskCell read before its producer ran")
+    }
+
+    /// Borrow the value in place.
+    pub fn with_ref<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        let slot = self.0.lock().unwrap_or_else(|e| e.into_inner());
+        f(slot.as_ref().expect("TaskCell read before its producer ran"))
+    }
+
+    /// Borrow the value mutably in place.
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        let mut slot = self.0.lock().unwrap_or_else(|e| e.into_inner());
+        f(slot.as_mut().expect("TaskCell read before its producer ran"))
+    }
+}
+
+impl<T> Default for TaskCell<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+type Body<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+struct Task<'env> {
+    label: &'static str,
+    deps: Vec<TaskId>,
+    body: Mutex<Option<Body<'env>>>,
+}
+
+enum Item {
+    Task(TaskId),
+    Fence,
+}
+
+/// A dependency graph of charged task bodies plus the fence positions
+/// of the equivalent barrier-path schedule. Build with
+/// [`TaskGraph::add_task`]/[`TaskGraph::add_fence`] in the barrier
+/// path's program order, then [`TaskGraph::run`].
+pub struct TaskGraph<'env> {
+    machine: &'env Machine,
+    tasks: Vec<Task<'env>>,
+    schedule: Vec<Item>,
+}
+
+impl<'env> TaskGraph<'env> {
+    /// An empty graph charging `machine`.
+    pub fn new(machine: &'env Machine) -> Self {
+        TaskGraph {
+            machine,
+            tasks: Vec::new(),
+            schedule: Vec::new(),
+        }
+    }
+
+    /// Append a task. `deps` are ids of previously added tasks; the
+    /// body may start as soon as all of them have completed. Insertion
+    /// order must be the barrier path's program order — it defines the
+    /// deterministic charge-replay order, and it is a topological order
+    /// by construction (deps point backwards only).
+    pub fn add_task(
+        &mut self,
+        label: &'static str,
+        deps: &[TaskId],
+        body: impl FnOnce() + Send + 'env,
+    ) -> TaskId {
+        let id = self.tasks.len();
+        for &d in deps {
+            assert!(d < id, "task dependency {d} does not precede task {id}");
+        }
+        self.tasks.push(Task {
+            label,
+            deps: deps.to_vec(),
+            body: Mutex::new(Some(Box::new(body))),
+        });
+        self.schedule.push(Item::Task(id));
+        id
+    }
+
+    /// Mark a superstep barrier of the equivalent barrier-path
+    /// schedule. Execution does **not** wait here — the marker only
+    /// tells the replay pass where to fold the ledger
+    /// ([`Machine::fence`]), keeping the per-phase maxima identical to
+    /// the barrier path's.
+    pub fn add_fence(&mut self) {
+        self.schedule.push(Item::Fence);
+    }
+
+    /// Number of tasks added so far.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when no tasks have been added.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Execute every task (respecting dependencies), then replay the
+    /// captured charge logs in insertion order with fences at the
+    /// recorded barrier positions.
+    pub fn run(self) {
+        let n = self.tasks.len();
+        let logs: Vec<OnceLock<ChargeLog>> = (0..n).map(|_| OnceLock::new()).collect();
+        let workers = if exec::serial_forced() {
+            1
+        } else {
+            rayon::current_num_threads().min(n).max(1)
+        };
+
+        if workers <= 1 {
+            for (id, task) in self.tasks.iter().enumerate() {
+                let log = run_body(task);
+                logs[id].set(log).expect("task ran twice");
+            }
+        } else {
+            self.run_pooled(workers, &logs);
+        }
+
+        // Deterministic charging pass: insertion order, fences where the
+        // barrier path would have fenced.
+        for item in &self.schedule {
+            match item {
+                Item::Task(id) => {
+                    let log = logs[*id].get().expect("task never ran");
+                    self.machine.replay(log);
+                }
+                Item::Fence => self.machine.fence(),
+            }
+        }
+    }
+
+    /// Multi-worker execution: scoped threads pulling from a shared
+    /// ready queue; task completion releases its dependents.
+    fn run_pooled(&self, workers: usize, logs: &[OnceLock<ChargeLog>]) {
+        let n = self.tasks.len();
+        let mut indegree = vec![0usize; n];
+        let mut dependents: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+        for (id, task) in self.tasks.iter().enumerate() {
+            indegree[id] = task.deps.len();
+            for &d in &task.deps {
+                dependents[d].push(id);
+            }
+        }
+
+        struct State {
+            ready: VecDeque<TaskId>,
+            indegree: Vec<usize>,
+            remaining: usize,
+        }
+        let mut ready = VecDeque::new();
+        for (id, &deg) in indegree.iter().enumerate() {
+            if deg == 0 {
+                ready.push_back(id);
+            }
+        }
+        READY_DEPTH.record_max(ready.len() as u64);
+        let state = Mutex::new(State {
+            ready,
+            indegree,
+            remaining: n,
+        });
+        let cv = Condvar::new();
+        let state = &state;
+        let cv = &cv;
+        let dependents = &dependents;
+        let tasks = &self.tasks;
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(move || loop {
+                    let id = {
+                        let mut st = state.lock().unwrap_or_else(|e| e.into_inner());
+                        loop {
+                            if st.remaining == 0 {
+                                return;
+                            }
+                            if let Some(id) = st.ready.pop_front() {
+                                break id;
+                            }
+                            st = cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                        }
+                    };
+                    let log = run_body(&tasks[id]);
+                    logs[id].set(log).expect("task ran twice");
+                    let mut st = state.lock().unwrap_or_else(|e| e.into_inner());
+                    st.remaining -= 1;
+                    for &dep in &dependents[id] {
+                        st.indegree[dep] -= 1;
+                        if st.indegree[dep] == 0 {
+                            st.ready.push_back(dep);
+                        }
+                    }
+                    READY_DEPTH.record_max(st.ready.len() as u64);
+                    drop(st);
+                    cv.notify_all();
+                });
+            }
+        });
+    }
+}
+
+/// Run one task body under a `dag.task` span with its charges captured
+/// and nested dispatch pinned to this thread.
+fn run_body(task: &Task<'_>) -> ChargeLog {
+    let _span = ca_obs::kernel_span("dag.task");
+    TASKS_RUN.add(1);
+    let body = task
+        .body
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .take()
+        .unwrap_or_else(|| panic!("task {:?} executed twice", task.label));
+    let ((), log) = Machine::capture(|| exec::with_forced_serial(body));
+    log
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_bsp::MachineParams;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_task_and_respects_dependencies() {
+        let m = Machine::new(MachineParams::new(2));
+        let order = Mutex::new(Vec::new());
+        let mut g = TaskGraph::new(&m);
+        let a = g.add_task("a", &[], || order.lock().unwrap().push("a"));
+        let b = g.add_task("b", &[a], || order.lock().unwrap().push("b"));
+        let _c = g.add_task("c", &[a, b], || order.lock().unwrap().push("c"));
+        g.run();
+        let seen = order.into_inner().unwrap();
+        assert_eq!(seen.len(), 3);
+        let pos = |x: &str| seen.iter().position(|&s| s == x).unwrap();
+        assert!(pos("a") < pos("b"));
+        assert!(pos("b") < pos("c"));
+    }
+
+    #[test]
+    fn charges_replay_into_fence_phases_like_the_barrier_path() {
+        // Barrier path: phase 1 charges (1000 on p0), fence, phase 2
+        // charges (10 on p0, 2000 on p1), fence. Folded F must be
+        // 1000 + 2000 regardless of execution interleaving.
+        let barrier = Machine::new(MachineParams::new(2));
+        barrier.charge_flops(0, 1000);
+        barrier.fence();
+        barrier.charge_flops(0, 10);
+        barrier.charge_flops(1, 2000);
+        barrier.fence();
+        let want = barrier.report();
+
+        let m = Machine::new(MachineParams::new(2));
+        let mut g = TaskGraph::new(&m);
+        let t1 = g.add_task("phase1", &[], || m.charge_flops(0, 1000));
+        g.add_fence();
+        g.add_task("phase2a", &[t1], || m.charge_flops(0, 10));
+        g.add_task("phase2b", &[], || m.charge_flops(1, 2000));
+        g.add_fence();
+        g.run();
+        assert_eq!(m.report(), want);
+    }
+
+    #[test]
+    fn task_cells_hand_values_downstream() {
+        let m = Machine::new(MachineParams::new(1));
+        let cell = TaskCell::new();
+        let out = TaskCell::new();
+        let mut g = TaskGraph::new(&m);
+        let p = g.add_task("produce", &[], || cell.set(21usize));
+        g.add_task("consume", &[p], || out.set(cell.take() * 2));
+        g.run();
+        assert_eq!(out.take(), 42);
+    }
+
+    #[test]
+    fn wide_graphs_complete_under_contention() {
+        let m = Machine::new(MachineParams::new(4));
+        let count = AtomicUsize::new(0);
+        let mut g = TaskGraph::new(&m);
+        let roots: Vec<TaskId> = (0..8)
+            .map(|_| {
+                g.add_task("root", &[], || {
+                    count.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for _ in 0..32 {
+            g.add_task("leaf", &roots, || {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        g.add_fence();
+        g.run();
+        assert_eq!(count.load(Ordering::Relaxed), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not precede")]
+    fn forward_dependencies_are_rejected() {
+        let m = Machine::new(MachineParams::new(1));
+        let mut g = TaskGraph::new(&m);
+        g.add_task("bad", &[0], || {});
+    }
+}

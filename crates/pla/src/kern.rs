@@ -6,9 +6,10 @@
 
 use ca_bsp::{Machine, ProcId};
 use ca_dla::costs;
-use ca_dla::gemm::{gemm, Trans};
+use ca_dla::gemm::{gemm, gemm_view, Trans};
 use ca_dla::lu::{lu_nopivot, trsm_left, trsm_right, Diag, Triangle};
 use ca_dla::qr::{qr_factor, QrFactors};
+use ca_dla::view::{MatrixView, MatrixViewMut};
 use ca_dla::Matrix;
 
 /// Charged local GEMM: `C ← α·op(A)·op(B) + β·C` on processor `j`.
@@ -57,6 +58,33 @@ pub fn local_matmul(
     let mut c = Matrix::zeros(mm, nn);
     local_gemm(m, j, 1.0, a, ta, b, tb, 0.0, &mut c);
     c
+}
+
+/// Charged local GEMM writing `op(A)·op(B)` into a strided output view
+/// (`beta = 0`). Charges are the same shape-derived formulas as
+/// [`local_matmul`], and because the GEMM entry pre-scales the output
+/// before accumulating, the stored bits equal a fresh-matrix product
+/// copied into place — the zero-copy leaf of the task-graph path.
+pub fn local_matmul_into(
+    m: &Machine,
+    j: ProcId,
+    a: &MatrixView,
+    ta: Trans,
+    b: &MatrixView,
+    tb: Trans,
+    out: &mut MatrixViewMut,
+) {
+    let (mm, kk) = match ta {
+        Trans::N => (a.rows(), a.cols()),
+        Trans::T => (a.cols(), a.rows()),
+    };
+    let nn = match tb {
+        Trans::N => b.cols(),
+        Trans::T => b.rows(),
+    };
+    m.charge_flops(j, costs::gemm_flops(mm, kk, nn));
+    m.charge_vert(j, costs::gemm_vert(mm, kk, nn, m.cache_words()));
+    gemm_view(1.0, a, ta, b, tb, 0.0, out);
 }
 
 /// Charged local Householder QR on processor `j`.

@@ -19,7 +19,8 @@ use crate::dist::DistMatrix;
 use crate::exec;
 use crate::grid::Grid;
 use ca_bsp::Machine;
-use ca_dla::gemm::{gemm, Trans};
+use ca_dla::gemm::{gemm, gemm_view, Trans};
+use ca_dla::view::{MatrixView, MatrixViewMut};
 use ca_dla::Matrix;
 
 /// A matrix replicated over the `c` layers of a 3D grid, distributed
@@ -121,6 +122,25 @@ pub fn streaming_mm_dense(
     let (inner, out_rows) = if transpose_a { (nr, nc) } else { (nc, nr) };
     assert_eq!(b.rows(), inner, "streaming_mm: inner dimension mismatch");
     let k = b.cols();
+    if ca_obs::knobs::lookahead() {
+        // Lookahead mode routes through the zero-copy sweep — bitwise-
+        // and ledger-identical to the path below (see
+        // `view_into_variant_is_bitwise_identical_with_matching_charges`),
+        // it just reads the resident/streamed blocks as sub-views.
+        let mut out = Matrix::zeros(out_rows, k);
+        streaming_mm_view_into(
+            m,
+            grid3,
+            &a_dense.view(),
+            sub,
+            transpose_a,
+            &b.view(),
+            false,
+            w,
+            &mut out.view_mut(),
+        );
+        return out;
+    }
     let w = w.max(1);
     let z = w * c;
 
@@ -229,6 +249,148 @@ pub fn streaming_mm_dense(
     out
 }
 
+/// Zero-copy [`streaming_mm_dense`]: operands as views, the product
+/// written (overwritten) into a strided output view.
+///
+/// The task-graph (`CA_LOOKAHEAD`) path of the reduction drivers uses
+/// this to stream trailing updates straight out of the replicated
+/// operand and straight into pre-allocated aggregate storage. Results
+/// and ledger are **bitwise identical** to the copy path: the per-rank
+/// resident blocks `A_ij` and streamed blocks `B_jh` become sub-views
+/// instead of extracted copies (same per-cell values, same GEMM kernel
+/// decision shapes), each rank's partial product still lands in a fresh
+/// `β = 0` buffer, and the rank-ordered elementwise accumulation into
+/// the zero-filled output performs the copy path's exact add sequence
+/// (including the `0.0 + x` first touch). All charges are shape-derived
+/// and issued in the same order.
+///
+/// `transpose_b` streams `Bᵀ` without materializing the transpose (the
+/// aggregate-panel operands of Algorithm IV.1's lines 5/12 are
+/// transposed blocks): the GEMM kernels' operand resolver reads the
+/// stored orientation in place, performing the same arithmetic in the
+/// same order as on a pre-transposed copy.
+#[allow(clippy::too_many_arguments)] // mirrors streaming_mm_dense + the output view
+pub fn streaming_mm_view_into(
+    m: &Machine,
+    grid3: &Grid,
+    a_dense: &MatrixView,
+    sub: (usize, usize, usize, usize),
+    transpose_a: bool,
+    b: &MatrixView,
+    transpose_b: bool,
+    w: usize,
+    out: &mut MatrixViewMut,
+) {
+    let (r0, c0, nr, nc) = sub;
+    let (q0, q1, c) = grid3.shape();
+    assert_eq!(q0, q1, "streaming_mm expects a square per-layer grid");
+    let q = q0;
+    let (inner, out_rows) = if transpose_a { (nr, nc) } else { (nc, nr) };
+    let (b_rows, k) = if transpose_b {
+        (b.cols(), b.rows())
+    } else {
+        (b.rows(), b.cols())
+    };
+    assert_eq!(b_rows, inner, "streaming_mm: inner dimension mismatch");
+    assert_eq!(
+        (out.rows(), out.cols()),
+        (out_rows, k),
+        "streaming_mm_view_into: output shape disagrees"
+    );
+    let w = w.max(1);
+    let z = w * c;
+
+    // Redistribute B (charged from any balanced layout).
+    let total_b = (inner * k) as u64;
+    for &pid in grid3.procs() {
+        m.charge_comm(pid, 2 * total_b / grid3.len() as u64);
+    }
+    m.step(grid3.procs(), 1);
+
+    let inner_splits = crate::dist::splits(inner, q);
+    let k_splits = crate::dist::splits(k, z);
+
+    out.fill(0.0);
+    let out_splits = crate::dist::splits(out_rows, q);
+    let h_cache = m.cache_words();
+
+    for l in 0..c {
+        for step in 0..w {
+            let h = l + step * c;
+            if h >= z || k_splits[h] == k_splits[h + 1] {
+                continue;
+            }
+            let (k0, k1) = (k_splits[h], k_splits[h + 1]);
+            let kb = k1 - k0;
+            for jdim in 0..q {
+                let (j0, j1) = (inner_splits[jdim], inner_splits[jdim + 1]);
+                if j0 == j1 {
+                    continue;
+                }
+                let b_jh = if transpose_b {
+                    b.sub(k0, j0, kb, j1 - j0)
+                } else {
+                    b.sub(j0, k0, j1 - j0, kb)
+                };
+                let gather_group = if transpose_a {
+                    grid3.dim1_group(jdim, l)
+                } else {
+                    grid3.dim0_group(jdim, l)
+                };
+                coll::allgather(m, &gather_group, (b_jh.rows() * b_jh.cols()) as u64 / q as u64);
+
+                let b_jh = &b_jh;
+                let parts = exec::par_ranks(q, |idim| {
+                    let (i0, i1) = (out_splits[idim], out_splits[idim + 1]);
+                    if i0 == i1 {
+                        return None;
+                    }
+                    let (ar, ac, anr, anc) = if transpose_a {
+                        (r0 + j0, c0 + i0, j1 - j0, i1 - i0)
+                    } else {
+                        (r0 + i0, c0 + j0, i1 - i0, j1 - j0)
+                    };
+                    let a_blk = a_dense.sub(ar, ac, anr, anc);
+                    let pid = grid3.at(
+                        if transpose_a { jdim } else { idim },
+                        if transpose_a { idim } else { jdim },
+                        l,
+                    );
+                    let ta = if transpose_a { Trans::T } else { Trans::N };
+                    let tb = if transpose_b { Trans::T } else { Trans::N };
+                    let flops = 2 * (i1 - i0) as u64 * (j1 - j0) as u64 * kb as u64;
+                    m.charge_flops(pid, flops);
+                    let a_words = (a_blk.rows() * a_blk.cols()) as u64;
+                    let bc_words = (b_jh.rows() * b_jh.cols() + (i1 - i0) * kb) as u64;
+                    let vert = if a_words <= h_cache && step > 0 {
+                        bc_words
+                    } else {
+                        bc_words + a_words
+                    };
+                    m.charge_vert(pid, vert);
+                    let mut part = Matrix::zeros(i1 - i0, kb);
+                    gemm_view(1.0, &a_blk, ta, b_jh, tb, 0.0, &mut part.view_mut());
+                    Some((i0, part))
+                });
+                for (i0, part) in parts.into_iter().flatten() {
+                    out.sub_mut(i0, k0, part.rows(), part.cols())
+                        .add_scaled(1.0, &part.view());
+                }
+            }
+            for idim in 0..q {
+                let group = if transpose_a {
+                    grid3.dim0_group(idim, l)
+                } else {
+                    grid3.dim1_group(idim, l)
+                };
+                let ci_words = ((out_splits[idim + 1] - out_splits[idim]) * kb) as u64;
+                coll::reduce_scatter(m, &group, ci_words);
+            }
+            m.step(grid3.procs(), 1);
+        }
+    }
+}
+
 /// Convenience for replicating onto a 3D grid directly from a
 /// [`DistMatrix`] already living on layer 0.
 pub fn replicate_from_layer0(m: &Machine, grid3: &Grid, layer: DistMatrix) -> Replicated {
@@ -313,6 +475,64 @@ mod tests {
         let cmat = streaming_mm(&m, &rep, (2, 3, 9, 11), true, &b, 1);
         let want = matmul(&a.block(2, 3, 9, 11), Trans::T, &b, Trans::N);
         assert!(cmat.max_diff(&want) < 1e-11);
+    }
+
+    #[test]
+    fn view_into_variant_is_bitwise_identical_with_matching_charges() {
+        let _knob = crate::test_knob::barrier_guard();
+        for (q, c, w, sub, transpose_a, transpose_b, k, seed) in [
+            (2usize, 1usize, 1usize, (0usize, 0usize, 12usize, 12usize), false, false, 6usize, 400u64),
+            (2, 2, 2, (4, 6, 12, 10), false, false, 4, 401),
+            (2, 1, 1, (2, 3, 9, 11), true, false, 5, 402),
+            (3, 1, 2, (1, 0, 13, 14), false, false, 7, 403),
+            (2, 1, 2, (3, 1, 11, 9), false, true, 6, 404),
+            (2, 2, 1, (0, 2, 10, 13), true, true, 5, 405),
+        ] {
+            let p = q * q * c;
+            let g = grid3(q, c);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = gen::random_matrix(&mut rng, 16, 17);
+            let (_, _, nr, nc) = sub;
+            let inner = if transpose_a { nr } else { nc };
+            let out_rows = if transpose_a { nc } else { nr };
+            // The copy path takes B stored `inner x k`; the view path may
+            // instead read the transpose of a `k x inner` backing store.
+            let b = gen::random_matrix(&mut rng, inner, k);
+            let b_stored = if transpose_b { b.transpose() } else { b.clone() };
+
+            let m1 = machine(p);
+            let want = streaming_mm_dense(&m1, &g, &a, sub, transpose_a, &b, w);
+            m1.fence();
+
+            let m2 = machine(p);
+            let mut host = Matrix::zeros(out_rows + 2, k + 3);
+            streaming_mm_view_into(
+                &m2,
+                &g,
+                &a.view(),
+                sub,
+                transpose_a,
+                &b_stored.view(),
+                transpose_b,
+                w,
+                &mut host.subview_mut(1, 2, out_rows, k),
+            );
+            m2.fence();
+
+            for i in 0..out_rows {
+                for j in 0..k {
+                    assert!(
+                        host.get(1 + i, 2 + j).to_bits() == want.get(i, j).to_bits(),
+                        "q={q} c={c} w={w} ta={transpose_a} tb={transpose_b}: bit mismatch at ({i},{j})"
+                    );
+                }
+            }
+            assert_eq!(
+                m1.report(),
+                m2.report(),
+                "q={q} c={c} w={w} ta={transpose_a} tb={transpose_b}: ledger diverged"
+            );
+        }
     }
 
     #[test]

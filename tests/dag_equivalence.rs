@@ -1,0 +1,228 @@
+//! The task-graph executor must be invisible in the output bits.
+//!
+//! `CA_LOOKAHEAD=on` (the default) runs the two-sided reduction drivers
+//! on the dependency-driven DAG executor (`ca_pla::dag`) with zero-copy
+//! task bodies; `off` restores the seed's barrier path. These tests pin
+//! the PR's headline invariant: for every problem shape — including
+//! ragged ones where the halving target does not divide the band-width —
+//! the two paths agree **bitwise** on
+//!
+//! * the reduced band (every stored word),
+//! * the recorded Householder transforms (`row0`, `U`, `T`),
+//! * the eigenvalues and eigenvectors of the full solver, and
+//! * the metered ledger: `F`/`W`/`Q`/`S` totals *and* the per-processor
+//!   flop/word/superstep breakdowns.
+//!
+//! The knob is process-global (`ca_obs::knobs::set_lookahead_enabled`),
+//! so every test here serializes through one lock while it holds the
+//! knob away from its default.
+
+use ca_symm_eig::bsp::{Costs, Machine, MachineParams};
+use ca_symm_eig::dla::{gen, BandedSym};
+use ca_symm_eig::eigen::band_to_band::band_to_band_to_logged;
+use ca_symm_eig::eigen::full_to_band::full_to_band_logged;
+use ca_symm_eig::eigen::transforms::Reflectors;
+use ca_symm_eig::eigen::{symm_eigen_25d_vectors, EigenParams};
+use ca_symm_eig::obs::knobs;
+use ca_symm_eig::pla::Grid;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Mutex;
+
+/// Serializes knob toggling across this binary's tests (and proptest
+/// cases); restores the default on drop even if the closure panics.
+static KNOB_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_lookahead<R>(enabled: bool, f: impl FnOnce() -> R) -> R {
+    struct Reset;
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            knobs::reset_lookahead();
+        }
+    }
+    let _guard = KNOB_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _reset = Reset;
+    knobs::set_lookahead_enabled(enabled);
+    f()
+}
+
+/// FNV-1a over the exact bit patterns of a stream of `f64`s.
+fn bit_hash(values: impl IntoIterator<Item = f64>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in values {
+        for byte in v.to_bits().to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x1_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Every stored word of the band plus every recorded transform, folded
+/// into one hash. `row0` rides along as a float so a transform applied
+/// at the wrong offset changes the fingerprint even if `U`/`T` agree.
+fn band_fingerprint(band: &BandedSym, rec: &[Reflectors]) -> u64 {
+    let mut bits: Vec<f64> = band.bands().to_vec();
+    bits.push(band.bandwidth() as f64);
+    for r in rec {
+        bits.push(r.row0 as f64);
+        bits.extend_from_slice(r.u.data());
+        bits.extend_from_slice(r.t.data());
+    }
+    bit_hash(bits)
+}
+
+/// Full ledger state: the folded `Costs` plus the per-processor
+/// flop/word/superstep breakdowns (the folded maxima could agree by
+/// accident; the raw per-processor tallies cannot).
+type Ledger = (Costs, Vec<u64>, Vec<u64>, Vec<u64>);
+
+fn ledger(machine: &Machine) -> Ledger {
+    (
+        machine.report(),
+        machine.flops_per_proc(),
+        machine.comm_per_proc(),
+        machine.steps_per_proc(),
+    )
+}
+
+fn full_to_band_run(n: usize, b: usize, p: usize, seed: u64) -> (u64, Ledger) {
+    let machine = Machine::new(MachineParams::new(p));
+    let params = EigenParams::new(p, 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = gen::symmetric_with_spectrum(&mut rng, &gen::linspace_spectrum(n, -3.0, 3.0));
+    let mut rec = Vec::new();
+    let (band, _) = full_to_band_logged(&machine, &params, &a, b, &mut rec);
+    (band_fingerprint(&band, &rec), ledger(&machine))
+}
+
+fn band_to_band_run(
+    n: usize,
+    b: usize,
+    h: usize,
+    p: usize,
+    seed: u64,
+) -> (u64, Ledger) {
+    let machine = Machine::new(MachineParams::new(p));
+    let grid = Grid::all(p);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dense = gen::random_banded(&mut rng, n, b);
+    let bm = BandedSym::from_dense(&dense, b, b);
+    let mut rec = Vec::new();
+    let (out, _) = band_to_band_to_logged(&machine, &grid, &bm, h, 1, &mut rec);
+    (band_fingerprint(&out, &rec), ledger(&machine))
+}
+
+fn solve_run(n: usize, p: usize, seed: u64) -> (u64, Ledger) {
+    let machine = Machine::new(MachineParams::new(p));
+    let params = EigenParams::new(p, 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = gen::symmetric_with_spectrum(&mut rng, &gen::linspace_spectrum(n, -2.0, 2.0));
+    let (ev, v, _) = symm_eigen_25d_vectors(&machine, &params, &a);
+    let mut bits = ev;
+    bits.extend_from_slice(v.data());
+    (bit_hash(bits), ledger(&machine))
+}
+
+/// Run `case` under both knob settings and demand bitwise + ledger
+/// equality. Returns the shared hash so callers can add cross-checks.
+fn assert_paths_agree<F>(label: &str, case: F) -> u64
+where
+    F: Fn() -> (u64, Ledger),
+{
+    let (dag_hash, dag_ledger) = with_lookahead(true, &case);
+    let (bar_hash, bar_ledger) = with_lookahead(false, &case);
+    assert_eq!(
+        format!("{dag_hash:016x}"),
+        format!("{bar_hash:016x}"),
+        "{label}: DAG output bits diverged from the barrier path"
+    );
+    assert_eq!(
+        dag_ledger.0, bar_ledger.0,
+        "{label}: folded F/W/Q/S ledger diverged"
+    );
+    assert_eq!(dag_ledger.1, bar_ledger.1, "{label}: per-proc flops diverged");
+    assert_eq!(dag_ledger.2, bar_ledger.2, "{label}: per-proc words diverged");
+    assert_eq!(
+        dag_ledger.3, bar_ledger.3,
+        "{label}: per-proc supersteps diverged"
+    );
+    dag_hash
+}
+
+/// The issue's sweep sizes: one in-regime power-of-two-ish size, one
+/// odd, one `2^k + 1` pair that makes every panel and window ragged.
+const SWEEP_N: [usize; 4] = [48, 65, 129, 257];
+
+#[test]
+fn full_to_band_dag_matches_barrier_bitwise() {
+    // Ragged b (n % b != 0) so the last panel is short on every size the
+    // dense stage can afford in a debug-profile test run.
+    for (n, b) in [(48, 7), (48, 16), (65, 9), (65, 12)] {
+        assert_paths_agree(&format!("full_to_band n={n} b={b}"), || {
+            full_to_band_run(n, b, 4, 1000 + n as u64)
+        });
+    }
+}
+
+#[test]
+fn band_to_band_dag_matches_barrier_bitwise_ragged_sweep() {
+    // h ∤ b everywhere: the clamped final halving of the arbitrary-n
+    // schedule produces exactly these shapes.
+    for n in SWEEP_N {
+        for (b, h) in [(9, 4), (7, 3), (12, 5)] {
+            for p in [1, 4] {
+                assert_paths_agree(&format!("band_to_band n={n} b={b} h={h} p={p}"), || {
+                    band_to_band_run(n, b, h, p, 2000 + n as u64)
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn full_solve_dag_matches_barrier_bitwise() {
+    for n in [48, 65] {
+        assert_paths_agree(&format!("symm_eigen_25d_vectors n={n}"), || {
+            solve_run(n, 4, 3000 + n as u64)
+        });
+    }
+}
+
+#[test]
+fn dag_path_is_deterministic_run_to_run() {
+    // Same problem, two independent DAG executions: the executor may
+    // schedule tasks in any order, but the charging replay and the
+    // output must not depend on it.
+    let first = with_lookahead(true, || band_to_band_run(129, 10, 3, 4, 42));
+    let second = with_lookahead(true, || band_to_band_run(129, 10, 3, 4, 42));
+    assert_eq!(first.0, second.0, "DAG output bits varied between runs");
+    assert_eq!(first.1, second.1, "DAG ledger varied between runs");
+}
+
+proptest! {
+    // Each case runs two reductions; keep the count modest so the suite
+    // stays inside the tier-1 budget in the debug profile.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Randomized ragged shapes over the issue's size sweep: any
+    /// `(n, b, h)` with `h ∤ b` must be bit-identical between the DAG
+    /// and barrier paths, band words and transforms and ledger alike.
+    #[test]
+    fn band_to_band_paths_agree_on_random_ragged_shapes(
+        n_idx in 0usize..SWEEP_N.len(),
+        b in 5usize..=12,
+        h in 2usize..=4,
+        p_idx in 0usize..3,
+        seed in 0u64..1 << 16,
+    ) {
+        let n = SWEEP_N[n_idx];
+        let p = [1usize, 2, 4][p_idx];
+        prop_assume!(!b.is_multiple_of(h)); // ragged by construction
+        assert_paths_agree(
+            &format!("proptest band_to_band n={n} b={b} h={h} p={p} seed={seed}"),
+            || band_to_band_run(n, b, h, p, seed),
+        );
+    }
+}

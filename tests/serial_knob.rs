@@ -65,10 +65,11 @@ fn solve_hash() -> u64 {
 #[ignore = "subprocess payload for the CA_SERIAL driver tests"]
 fn inner_emit_hash() {
     println!(
-        "HASH={:016x} SERIAL_EXEC={} SERIAL_DNC={}",
+        "HASH={:016x} SERIAL_EXEC={} SERIAL_DNC={} LOOKAHEAD={}",
         solve_hash(),
         ca_symm_eig::pla::exec::serial_forced(),
-        ca_symm_eig::dla::tune::serial()
+        ca_symm_eig::dla::tune::serial(),
+        ca_symm_eig::obs::knobs::lookahead()
     );
 }
 
@@ -76,6 +77,7 @@ struct Probe {
     hash: String,
     serial_exec: bool,
     serial_dnc: bool,
+    lookahead: bool,
     stderr: String,
 }
 
@@ -86,7 +88,8 @@ fn probe(env: &[(&str, &str)]) -> Probe {
     cmd.args(["--ignored", "--exact", "inner_emit_hash", "--nocapture"])
         .env_remove("CA_SERIAL")
         .env_remove("CA_DNC")
-        .env_remove("CA_TRACE");
+        .env_remove("CA_TRACE")
+        .env_remove("CA_LOOKAHEAD");
     for (k, v) in env {
         cmd.env(k, v);
     }
@@ -113,6 +116,7 @@ fn probe(env: &[(&str, &str)]) -> Probe {
         hash: field("HASH"),
         serial_exec: field("SERIAL_EXEC") == "true",
         serial_dnc: field("SERIAL_DNC") == "true",
+        lookahead: field("LOOKAHEAD") == "true",
         stderr,
     }
 }
@@ -246,6 +250,33 @@ fn falsy_and_unset_stay_parallel_in_both_subsystems() {
         assert!(
             !p.serial_exec && !p.serial_dnc,
             "{env:?}: expected parallel dispatch in both subsystems"
+        );
+    }
+}
+
+#[test]
+fn serial_knob_composes_with_lookahead_bit_identically() {
+    // The 2×2 of {CA_SERIAL} × {CA_LOOKAHEAD}: the task-graph executor
+    // under forced-serial dispatch must still match the parallel
+    // barrier path bit for bit — the DAG path may not smuggle in a
+    // scheduling dependence that only CA_SERIAL=1 exposes.
+    let reference = format!("{:016x}", solve_hash());
+    for (serial, lookahead) in [("true", "on"), ("true", "off"), ("0", "on"), ("0", "off")] {
+        let p = probe(&[("CA_SERIAL", serial), ("CA_LOOKAHEAD", lookahead)]);
+        assert_eq!(
+            p.lookahead,
+            lookahead == "on",
+            "CA_LOOKAHEAD={lookahead} did not reach the knob cache"
+        );
+        assert_eq!(
+            p.serial_exec,
+            serial == "true",
+            "CA_SERIAL={serial} did not reach the executor"
+        );
+        assert_eq!(
+            p.hash, reference,
+            "CA_SERIAL={serial} CA_LOOKAHEAD={lookahead}: output bits diverged \
+             from the in-process default run"
         );
     }
 }
